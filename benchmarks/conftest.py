@@ -1,0 +1,60 @@
+"""Benchmark harness glue.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round — a full parameter sweep is not a microbenchmark to be repeated),
+prints the paper-style table/series plus the PASS/FAIL shape checks,
+and writes the same text under ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_SCALE`` — data-size scale (default 0.25; 1.0 = paper-exact).
+* ``REPRO_BENCH_SEEDS`` — comma-separated seeds (default "0").
+"""
+
+import os
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def bench_seeds():
+    raw = os.environ.get("REPRO_BENCH_SEEDS", "0")
+    return tuple(int(s) for s in raw.split(",") if s != "")
+
+
+@pytest.fixture(scope="session")
+def seeds():
+    return bench_seeds()
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.experiments.common import DEFAULT_SCALE
+
+    return DEFAULT_SCALE
+
+
+@pytest.fixture
+def record(capsys):
+    """Print and persist an ExperimentResult; returns the rendered text."""
+
+    def _record(result):
+        text = result.render()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        return text
+
+    return _record
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)

@@ -1,0 +1,33 @@
+"""Benches: ablations of design choices + future-work extensions."""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_ablation_mechanisms(benchmark, record, scale, seeds):
+    result = run_once(benchmark, ablations.run_mechanisms, scale=scale,
+                      seeds=seeds)
+    record(result)
+    assert result.data["rows"]
+
+
+def test_ablation_online_controller(benchmark, record, scale, seeds):
+    result = run_once(benchmark, ablations.run_online, scale=scale,
+                      seeds=seeds)
+    record(result)
+    assert len(result.data["rows"]) == 3
+
+
+def test_ablation_job_chain(benchmark, record, scale, seeds):
+    result = run_once(benchmark, ablations.run_chain, scale=scale, seeds=seeds)
+    record(result)
+    assert result.data["evaluations"] < result.data["space"]
+    assert result.checks()[0].passed
+
+
+def test_ablation_phase_count(benchmark, record, scale, seeds):
+    result = run_once(benchmark, ablations.run_phase_count, scale=scale,
+                      seeds=seeds)
+    record(result)
+    assert result.data["evals"][3] <= 3 * 6 + 6  # P x S bound at P=3

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 1 (sysbench vs pair vs consolidation)."""
+
+from repro.experiments import fig1_sysbench
+
+from conftest import run_once
+
+
+def test_fig1_sysbench(benchmark, record, scale, seeds):
+    result = run_once(
+        benchmark, fig1_sysbench.run, scale=scale, seeds=seeds
+    )
+    record(result)
+    assert result.data["times"]
+    checks = result.checks()
+    assert sum(c.passed for c in checks) >= len(checks) - 1

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 3 (throughput CDFs, (CFQ,CFQ) vs (AS,DL))."""
+
+from repro.experiments import fig3_cdf
+
+from conftest import run_once
+
+
+def test_fig3_cdf(benchmark, record, scale, seeds):
+    result = run_once(benchmark, fig3_cdf.run, scale=scale, seeds=seeds)
+    record(result)
+    for level in ("dom0", "vm"):
+        for cdf in result.data[level].values():
+            assert len(cdf) > 0
+    checks = result.checks()
+    assert sum(c.passed for c in checks) >= 2

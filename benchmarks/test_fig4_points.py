@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 4 (per-point performance, oracle bound)."""
+
+from repro.experiments import fig4_points
+
+from conftest import run_once
+
+
+def test_fig4_points(benchmark, record, scale, seeds):
+    result = run_once(benchmark, fig4_points.run, scale=scale, seeds=seeds)
+    record(result)
+    assert result.data["points"]
+    checks = result.checks()
+    assert sum(c.passed for c in checks) >= len(checks) - 1

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 5 (switch-cost matrix on parallel dd).
+
+Uses the representative 6-state subset by default (36 transitions);
+set REPRO_FIG5_FULL=1 for the complete 16x16 grid.
+"""
+
+import os
+
+from repro.experiments import fig5_switchcost
+
+from conftest import run_once
+
+
+def test_fig5_switchcost(benchmark, record, scale, seeds):
+    full = os.environ.get("REPRO_FIG5_FULL", "0") == "1"
+    result = run_once(
+        benchmark, fig5_switchcost.run, scale=scale, seeds=seeds, full=full
+    )
+    record(result)
+    matrix = result.data["matrix"]
+    n = len(result.data["states"])
+    assert len(matrix.costs) == n * n
+    checks = result.checks()
+    assert sum(c.passed for c in checks) >= 2

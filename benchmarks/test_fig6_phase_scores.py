@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 6 (per-phase scores for all 16 pairs)."""
+
+from repro.experiments import fig6_phase_scores
+
+from conftest import run_once
+
+
+def test_fig6_phase_scores(benchmark, record, scale, seeds):
+    result = run_once(
+        benchmark, fig6_phase_scores.run, scale=scale, seeds=seeds
+    )
+    record(result)
+    scores = result.data["scores"]
+    assert len(scores.totals) == 16
+    assert result.all_checks_pass

@@ -1,0 +1,49 @@
+"""Bench: regenerate Fig. 7 (adaptive meta-scheduler, four panels)."""
+
+from repro.experiments import fig7_adaptive
+
+from conftest import run_once
+
+
+def _assert_adaptive_shapes(result):
+    reports = result.data["reports"]
+    assert reports
+    for rep in reports.values():
+        # The headline: adaptive never loses to the default pair.
+        assert rep.gain_vs_default > -0.02
+
+
+def test_fig7a_workloads(benchmark, record, scale, seeds):
+    result = run_once(
+        benchmark, fig7_adaptive.run_workloads, scale=scale, seeds=seeds
+    )
+    record(result)
+    assert len(result.data["reports"]) == 3
+    _assert_adaptive_shapes(result)
+
+
+def test_fig7b_consolidation(benchmark, record, scale, seeds):
+    result = run_once(
+        benchmark, fig7_adaptive.run_consolidation, scale=scale, seeds=seeds
+    )
+    record(result)
+    assert len(result.data["reports"]) == 3
+    _assert_adaptive_shapes(result)
+
+
+def test_fig7c_datasize(benchmark, record, scale, seeds):
+    result = run_once(
+        benchmark, fig7_adaptive.run_datasize, scale=scale, seeds=seeds
+    )
+    record(result)
+    assert len(result.data["reports"]) == 4
+    _assert_adaptive_shapes(result)
+
+
+def test_fig7d_cluster_scale(benchmark, record, scale, seeds):
+    result = run_once(
+        benchmark, fig7_adaptive.run_cluster_scale, scale=scale, seeds=seeds
+    )
+    record(result)
+    assert len(result.data["reports"]) == 4
+    _assert_adaptive_shapes(result)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 8 (phase breakdown per benchmark)."""
+
+from repro.experiments import fig8_phases
+
+from conftest import run_once
+
+
+def test_fig8_phases(benchmark, record, scale, seeds):
+    result = run_once(benchmark, fig8_phases.run, scale=scale, seeds=seeds)
+    record(result)
+    assert len(result.data["phases"]) == 3
+    checks = result.checks()
+    assert sum(c.passed for c in checks) >= 1

@@ -1,0 +1,12 @@
+"""Bench: regenerate Table I (sort matrix, paper's 3-run averaging)."""
+
+from repro.experiments import table1_sort
+
+from conftest import run_once
+
+
+def test_table1_sort(benchmark, record, scale, seeds):
+    result = run_once(benchmark, table1_sort.run, scale=scale, seeds=seeds)
+    record(result)
+    assert len(result.data["durations"]) == 16
+    assert result.all_checks_pass

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table II (non-concurrent shuffle vs waves)."""
+
+from repro.experiments import table2_waves
+
+from conftest import run_once
+
+
+def test_table2_waves(benchmark, record, scale, seeds):
+    result = run_once(benchmark, table2_waves.run, scale=scale, seeds=seeds)
+    record(result)
+    assert len(result.data["pct"]) == len(table2_waves.DEFAULT_WAVES)
+    checks = result.checks()
+    assert checks[0].passed  # shrinking share is the headline

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Measure elevator switching costs with the paper's dd methodology and
+fit the predictive model (the paper's §VII future-work item).
+
+    python examples/switch_cost_survey.py
+"""
+
+from repro.core import SwitchCostMeter, SwitchCostModel
+from repro.experiments.common import scaled_cluster
+from repro.virt import SchedulerPair
+
+MB = 1024 * 1024
+
+STATES = [SchedulerPair.parse(s) for s in ("cc", "ad", "dd", "nn", "ac", "cd")]
+
+
+def main() -> None:
+    meter = SwitchCostMeter(
+        scaled_cluster(scale=0.125, hosts=1),
+        nbytes=75 * MB,  # 600 MB x 1/8 scale
+        seeds=(0, 1),
+    )
+    print("measuring Cost_switch = T_two - (T1 + T2)/2 on parallel dd...\n")
+    matrix = meter.matrix(STATES)
+
+    labels = [p.label for p in STATES]
+    print("       " + "".join(f"{l:>8}" for l in labels))
+    for src in STATES:
+        row = "".join(
+            f"{matrix.cost(src, dst):8.2f}" for dst in STATES
+        )
+        print(f"  {src.label:>4} {row}")
+
+    print(
+        f"\nrange [{matrix.min_cost:.2f}, {matrix.max_cost:.2f}] s; "
+        f"max asymmetry "
+        f"{max(matrix.asymmetry(a, b) for a in STATES for b in STATES):.2f} s "
+        "(non-commutative, as in the paper's Fig. 5)."
+    )
+
+    model = SwitchCostModel()
+    rms = model.fit(matrix)
+    print(
+        f"\nlinear predictor fitted over {len(matrix.costs)} transitions: "
+        f"RMS error {rms:.3f} s"
+    )
+    example = (STATES[0], STATES[3])
+    print(
+        f"predicted {example[0]} -> {example[1]}: "
+        f"{model.predict(*example):.2f} s "
+        f"(measured {matrix.cost(*example):.2f} s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

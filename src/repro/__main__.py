@@ -1,0 +1,7 @@
+"""``python -m repro`` — run a paper experiment."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

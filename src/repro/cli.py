@@ -1,0 +1,76 @@
+"""Command-line runner for the paper experiments.
+
+Usage::
+
+    python -m repro table1 --scale 0.25 --seeds 0,1,2
+    python -m repro fig7a
+    python -m repro all --scale 0.1 --seeds 0
+
+Each experiment prints the table/series of its paper artifact plus its
+PASS/FAIL shape checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import DEFAULT_SCALE, EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def _parse_seeds(raw: str) -> tuple:
+    try:
+        return tuple(int(s) for s in raw.split(",") if s != "")
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad seed list {raw!r}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's tables and figures in simulation.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper table/figure) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help="data-size scale factor (1.0 = paper-exact sizes; "
+        f"default {DEFAULT_SCALE} or $REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=(0,),
+        help="comma-separated seeds to average over (default: 0)",
+    )
+    return parser
+
+
+def run_one(exp_id: str, scale: float, seeds: tuple) -> bool:
+    start = time.time()
+    result = EXPERIMENTS[exp_id](scale=scale, seeds=seeds)
+    print(result.render())
+    print(f"(elapsed {time.time() - start:.1f}s)\n")
+    return result.all_checks_pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    ok = True
+    for exp_id in ids:
+        ok = run_one(exp_id, args.scale, args.seeds) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: adaptive disk-pair scheduling for MapReduce.
+
+Public surface::
+
+    config = TestbedConfig(cluster=ClusterConfig(), job=JobConfig(spec=SORT))
+    meta = AdaptiveMetaScheduler(config)
+    report = meta.report()
+    print(report.summary())
+"""
+
+from .bruteforce import BruteForceSearch, enumerate_solutions
+from .chains import ChainConfig, ChainOutcome, ChainRunner
+from .finegrained import FineGrainedAssignment, FineGrainedPlan, apply_assignment
+from .experiment import JobRunner, RunOutcome, TestbedConfig
+from .heuristic import (
+    HeuristicSearch,
+    ProfiledScores,
+    SearchResult,
+    profile_single_pairs,
+)
+from .metasched import AdaptiveMetaScheduler, AdaptiveReport
+from .online import OnlineController, OnlinePolicy, Regime
+from .phase_detect import DetectorParams, PhaseDetector, ResourceSample
+from .solution import Solution
+from .switch_cost import SwitchCostMatrix, SwitchCostMeter, SwitchCostModel
+
+__all__ = [
+    "AdaptiveMetaScheduler",
+    "AdaptiveReport",
+    "BruteForceSearch",
+    "ChainConfig",
+    "ChainOutcome",
+    "ChainRunner",
+    "FineGrainedAssignment",
+    "FineGrainedPlan",
+    "DetectorParams",
+    "OnlineController",
+    "OnlinePolicy",
+    "PhaseDetector",
+    "ResourceSample",
+    "Regime",
+    "apply_assignment",
+    "HeuristicSearch",
+    "JobRunner",
+    "ProfiledScores",
+    "RunOutcome",
+    "SearchResult",
+    "Solution",
+    "SwitchCostMatrix",
+    "SwitchCostMeter",
+    "SwitchCostModel",
+    "TestbedConfig",
+    "enumerate_solutions",
+    "profile_single_pairs",
+]

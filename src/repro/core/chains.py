@@ -1,0 +1,165 @@
+"""Job chains (the paper's Pig motivation for the heuristic).
+
+A chain of K MapReduce jobs has 2K phases; at S = 16 pairs the solution
+space ``S^(2K)`` explodes (16⁴ = 65536 plans for two jobs), which is
+the paper's argument for a heuristic bounded by ``P × S`` evaluations.
+:class:`ChainRunner` executes a chain inside one simulation — each job
+reads the previous job's HDFS output — and exposes the same
+``score``/``run_plan``/``run_uniform`` interface as
+:class:`~repro.core.experiment.JobRunner`, so
+:class:`~repro.core.heuristic.HeuristicSearch` and
+:class:`~repro.core.bruteforce.BruteForceSearch` run on chains
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Tuple
+
+from ..hdfs.namenode import NameNode
+from ..mapreduce.job import JobConfig
+from ..mapreduce.jobtracker import MapReduceJob
+from ..net.topology import Topology
+from ..sim.core import Environment
+from ..virt.cluster import ClusterConfig, VirtualCluster
+from ..virt.pair import SchedulerPair
+from .solution import Solution
+
+__all__ = ["ChainConfig", "ChainRunner", "ChainOutcome"]
+
+
+@dataclass(frozen=True)
+class ChainConfig:
+    """A chain of jobs over one cluster; duck-types TestbedConfig."""
+
+    cluster: ClusterConfig
+    jobs: Tuple[JobConfig, ...]
+    seeds: Tuple[int, ...] = (0,)
+    #: Two phases per job: maps-running / shuffle+reduce.
+    phases_per_job: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a chain needs at least one job")
+        if self.phases_per_job != 2:
+            raise ValueError("only 2 phases per job are supported")
+        if not self.seeds:
+            raise ValueError("at least one seed required")
+
+    @property
+    def n_phases(self) -> int:
+        return self.phases_per_job * len(self.jobs)
+
+
+@dataclass
+class ChainOutcome:
+    """Aggregated chain execution (JobRunner RunOutcome-compatible)."""
+
+    solution: Solution
+    durations: List[float]
+    phase_rows: List[Tuple[float, ...]]
+
+    @property
+    def mean_duration(self) -> float:
+        return mean(self.durations)
+
+    @property
+    def mean_phases(self) -> Tuple[float, ...]:
+        return tuple(mean(col) for col in zip(*self.phase_rows))
+
+
+class ChainRunner:
+    """Execute phase plans over a job chain (JobRunner-compatible)."""
+
+    def __init__(self, config: ChainConfig):
+        self.config = config
+        self._cache: Dict[Solution, ChainOutcome] = {}
+        self.runs_executed = 0
+
+    # -- JobRunner-compatible surface -----------------------------------------------
+    def run_uniform(self, pair: SchedulerPair) -> ChainOutcome:
+        return self.run_plan(Solution.uniform(pair, self.config.n_phases))
+
+    def run_plan(self, solution: Solution) -> ChainOutcome:
+        if len(solution) != self.config.n_phases:
+            raise ValueError(
+                f"plan has {len(solution)} phases, chain expects "
+                f"{self.config.n_phases}"
+            )
+        cached = self._cache.get(solution)
+        if cached is not None:
+            return cached
+        durations: List[float] = []
+        rows: List[Tuple[float, ...]] = []
+        for seed in self.config.seeds:
+            duration, phases = self._execute(solution, seed)
+            durations.append(duration)
+            rows.append(phases)
+        outcome = ChainOutcome(solution, durations, rows)
+        self._cache[solution] = outcome
+        return outcome
+
+    def score(self, solution: Solution) -> float:
+        return self.run_plan(solution).mean_duration
+
+    # -- one chained run ---------------------------------------------------------------
+    def _execute(self, solution: Solution, seed: int) -> Tuple[float, Tuple[float, ...]]:
+        self.runs_executed += 1
+        env = Environment()
+        first_pair = solution.assignments[0]
+        cluster = VirtualCluster(
+            env, self.config.cluster.with_(initial_pair=first_pair, seed=seed)
+        )
+        topology = Topology(env)
+        boundaries: List[float] = []
+        driver = env.process(
+            self._drive_chain(env, cluster, topology, solution, boundaries)
+        )
+        env.run(until=driver)
+        duration = env.now
+        marks = [0.0] + boundaries + [duration]
+        phases = tuple(b - a for a, b in zip(marks, marks[1:]))
+        return duration, phases
+
+    def _drive_chain(self, env, cluster, topology, solution: Solution,
+                     boundaries: List[float]):
+        assignments = solution.assignments
+        phase = 0
+        prev_output = None
+        carry_over = {}
+        for idx, job_config in enumerate(self.config.jobs):
+            # Chain the data: job i+1 consumes job i's output.
+            if prev_output is not None:
+                job_config = job_config.with_(
+                    input_path=prev_output,
+                    output_path=f"{job_config.output_path}_{idx}",
+                )
+            namenode = NameNode(
+                cluster,
+                block_size=job_config.block_size,
+                replication=job_config.replication,
+            )
+            namenode._files.update(carry_over)  # noqa: SLF001 - handoff
+            job = MapReduceJob(env, cluster, topology, namenode, job_config)
+            proc = job.start()
+
+            # Phase boundary: entering this job (switch if planned).
+            if phase > 0:
+                boundaries.append(env.now)
+                if assignments[phase] is not None:
+                    yield cluster.set_pair(assignments[phase])
+            phase += 1
+
+            # Phase boundary: this job's maps-done.
+            yield job.maps_done_event
+            boundaries.append(env.now)
+            if assignments[phase] is not None:
+                yield cluster.set_pair(assignments[phase])
+            phase += 1
+
+            yield proc
+            prev_output = job_config.output_path
+            carry_over = {prev_output: namenode.lookup(prev_output)}
+        return env.now

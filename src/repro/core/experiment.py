@@ -1,0 +1,162 @@
+"""The job-execution harness: run a MapReduce job under a phase plan.
+
+Every run builds a fresh simulated testbed (environment, cluster,
+network, HDFS) so runs are independent — the analogue of the paper's
+freshly prepared cluster per measurement — and results are averaged
+over the configured seeds ("average of three consecutive runs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from statistics import mean
+from typing import Dict, List, Tuple
+
+from ..hdfs.namenode import NameNode
+from ..mapreduce.job import JobConfig
+from ..mapreduce.jobtracker import MapReduceJob
+from ..mapreduce.phases import JobResult
+from ..net.topology import Topology
+from ..sim.core import Environment
+from ..sim.tracing import TraceBus
+from ..virt.cluster import ClusterConfig, VirtualCluster
+from ..virt.pair import SchedulerPair
+from .solution import Solution
+
+__all__ = ["TestbedConfig", "RunOutcome", "JobRunner"]
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """A complete experiment setup: cluster + job + methodology."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    job: JobConfig = None  # type: ignore[assignment]
+    #: Root seeds; results are averaged across them (paper: 3 runs).
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    #: Number of phases the meta-scheduler divides the job into.  The
+    #: paper uses 2 in its evaluation (Ph2 folded into Ph3 at 4 waves).
+    n_phases: int = 2
+
+    def __post_init__(self) -> None:
+        if self.job is None:
+            raise ValueError("TestbedConfig requires a job config")
+        if self.n_phases not in (2, 3):
+            raise ValueError("n_phases must be 2 or 3")
+        if not self.seeds:
+            raise ValueError("at least one seed required")
+
+    def with_(self, **changes) -> "TestbedConfig":
+        return replace(self, **changes)
+
+
+@dataclass
+class RunOutcome:
+    """Aggregated outcome of one plan over all seeds."""
+
+    solution: Solution
+    results: List[JobResult]
+    #: Per-run wall-clock stall spent inside elevator switches.
+    switch_stalls: List[float] = field(default_factory=list)
+
+    @property
+    def mean_duration(self) -> float:
+        return mean(r.duration for r in self.results)
+
+    @property
+    def mean_phases(self) -> Tuple[float, ...]:
+        """Mean per-phase durations, folded to the plan's phase count."""
+        n = len(self.solution)
+        rows = [self._fold(r, n) for r in self.results]
+        return tuple(mean(col) for col in zip(*rows))
+
+    @staticmethod
+    def _fold(result: JobResult, n_phases: int) -> Tuple[float, ...]:
+        p = result.phases
+        if n_phases == 2:
+            return (p.ph1, p.ph2 + p.ph3)
+        return (p.ph1, p.ph2, p.ph3)
+
+
+class JobRunner:
+    """Executes plans on freshly built testbeds and caches outcomes."""
+
+    def __init__(self, config: TestbedConfig, trace_factory=None):
+        self.config = config
+        #: Optional callable(seed) -> TraceBus for instrumented runs.
+        self.trace_factory = trace_factory
+        self._cache: Dict[Solution, RunOutcome] = {}
+        self.runs_executed = 0
+
+    # -- public API ---------------------------------------------------------------
+    def run_uniform(self, pair: SchedulerPair) -> RunOutcome:
+        return self.run_plan(Solution.uniform(pair, self.config.n_phases))
+
+    def run_plan(self, solution: Solution) -> RunOutcome:
+        if len(solution) != self.config.n_phases:
+            raise ValueError(
+                f"plan has {len(solution)} phases, testbed expects "
+                f"{self.config.n_phases}"
+            )
+        cached = self._cache.get(solution)
+        if cached is not None:
+            return cached
+        results: List[JobResult] = []
+        stalls: List[float] = []
+        for seed in self.config.seeds:
+            result, stall = self._execute(solution, seed)
+            results.append(result)
+            stalls.append(stall)
+        outcome = RunOutcome(solution=solution, results=results,
+                             switch_stalls=stalls)
+        self._cache[solution] = outcome
+        return outcome
+
+    def score(self, solution: Solution) -> float:
+        """The paper's ``Hadoop_time``: mean job duration for a plan."""
+        return self.run_plan(solution).mean_duration
+
+    # -- one simulated run -------------------------------------------------------------
+    def _execute(self, solution: Solution, seed: int) -> Tuple[JobResult, float]:
+        self.runs_executed += 1
+        env = Environment()
+        trace = self.trace_factory(seed) if self.trace_factory else None
+        first_pair = solution.assignments[0]
+        cluster = VirtualCluster(
+            env,
+            self.config.cluster.with_(initial_pair=first_pair, seed=seed),
+            trace=trace,
+        )
+        topology = Topology(env)
+        namenode = NameNode(
+            cluster,
+            block_size=self.config.job.block_size,
+            replication=self.config.job.replication,
+        )
+        job = MapReduceJob(
+            env, cluster, topology, namenode, self.config.job, trace=trace
+        )
+        proc = job.start()
+
+        stall_total = [0.0]
+        if solution.n_switches > 0:
+            env.process(self._switcher(env, cluster, job, solution, stall_total))
+
+        env.run(until=proc)
+        return proc.value, stall_total[0]
+
+    def _switcher(self, env, cluster, job: MapReduceJob, solution: Solution,
+                  stall_total):
+        """Fires the plan's switches at the phase boundaries."""
+        boundaries = [job.maps_done_event]
+        if self.config.n_phases == 3:
+            boundaries.append(job.shuffle_done_event)
+        for boundary, assignment in zip(boundaries, solution.assignments[1:]):
+            yield boundary
+            if assignment is None:
+                continue
+            start = env.now
+            yield cluster.set_pair(assignment)
+            stall_total[0] += env.now - start

@@ -1,0 +1,96 @@
+"""Fine-grained (per-VM) scheduler plans (paper §IV-A & §VII).
+
+"…this assumption will not hold in the case of slow nodes or tasks or
+when the cluster is shared by many users, which needs a more
+fine-grained meta-scheduler at the individual VM level and/or in the
+VMM level."
+
+A :class:`FineGrainedPlan` assigns, per phase, the Dom0 elevator per
+host and the guest elevator per VM, instead of one global pair.  The
+executor reuses the same drain-based hot switch; only the control
+plane granularity changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..iosched.registry import resolve_name, scheduler_factory
+from ..sim.events import AllOf, Event
+from ..virt.pair import SchedulerPair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+    from ..virt.cluster import VirtualCluster
+
+__all__ = ["FineGrainedAssignment", "FineGrainedPlan", "apply_assignment"]
+
+
+@dataclass(frozen=True)
+class FineGrainedAssignment:
+    """One phase's elevator choices at VM granularity.
+
+    ``vmm`` maps host name → Dom0 elevator; ``vms`` maps VM id → guest
+    elevator.  Missing entries mean "leave as is" (the paper's 0).
+    """
+
+    vmm: Tuple[Tuple[str, str], ...] = ()
+    vms: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def of(cls, vmm: Optional[Dict[str, str]] = None,
+           vms: Optional[Dict[str, str]] = None) -> "FineGrainedAssignment":
+        return cls(
+            vmm=tuple(sorted((h, resolve_name(s)) for h, s in (vmm or {}).items())),
+            vms=tuple(sorted((v, resolve_name(s)) for v, s in (vms or {}).items())),
+        )
+
+    @classmethod
+    def uniform(cls, cluster: "VirtualCluster", pair: SchedulerPair
+                ) -> "FineGrainedAssignment":
+        """The coarse-grained pair expressed at VM granularity."""
+        return cls.of(
+            vmm={host.name: pair.vmm for host in cluster.hosts},
+            vms={vm.vm_id: pair.vm for vm in cluster.vms},
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.vmm and not self.vms
+
+
+@dataclass(frozen=True)
+class FineGrainedPlan:
+    """Per-phase fine-grained assignments."""
+
+    assignments: Tuple[FineGrainedAssignment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise ValueError("a plan needs at least one phase")
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+
+def apply_assignment(
+    env: "Environment",
+    cluster: "VirtualCluster",
+    assignment: FineGrainedAssignment,
+) -> Event:
+    """Fire all of one assignment's switches; event fires when done."""
+    events: List[Event] = []
+    host_by_name = {host.name: host for host in cluster.hosts}
+    for host_name, sched in assignment.vmm:
+        host = host_by_name.get(host_name)
+        if host is None:
+            raise KeyError(f"unknown host {host_name!r}")
+        if host.disk.scheduler.name != sched:
+            events.append(host.set_vmm_scheduler(scheduler_factory(sched)))
+    for vm_id, sched in assignment.vms:
+        vm = cluster.vm(vm_id)
+        if vm.scheduler_name != sched:
+            events.append(vm.switch_scheduler(scheduler_factory(sched)))
+    done = AllOf(env, events)
+    return done

@@ -1,0 +1,150 @@
+"""Phase detection from observed resource utilisation (paper §IV-A).
+
+The paper reduces the profiled space of a MapReduce program to a
+*resource-utilisation space* with four classes:
+
+* computation — job start until the first map output reaches disk;
+* computation + disk + network — maps running (Ph1);
+* disk + network — maps done, shuffle draining (Ph2);
+* computation + disk — sort/reduce (Ph3).
+
+The executor in :mod:`repro.core.experiment` uses the JobTracker's own
+events (maps-done, shuffle-done) as boundaries — the coarse-grained
+"program progress" detection the paper says it currently uses.  This
+module provides the observational alternative: a detector that samples
+each host's disk and VM CPU counters, classifies fixed windows into the
+classes above, and reports phase boundaries without asking Hadoop
+anything.  Tests validate it against the oracle events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+    from ..virt.cluster import VirtualCluster
+
+__all__ = ["ResourceSample", "PhaseDetector", "DetectorParams"]
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One sampling window's cluster-wide utilisation."""
+
+    time: float
+    cpu_util: float
+    disk_read_rate: float   # bytes/s at the hypervisor level
+    disk_write_rate: float  # bytes/s
+
+    @property
+    def read_share(self) -> float:
+        total = self.disk_read_rate + self.disk_write_rate
+        return self.disk_read_rate / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class DetectorParams:
+    """Sampling cadence and classification thresholds."""
+
+    sample_interval: float = 1.0
+    #: Read share below which the disk mix counts as "write dominated".
+    write_dominated_share: float = 0.15
+    #: Consecutive windows a regime must persist to call a boundary.
+    hysteresis: int = 2
+
+
+class PhaseDetector:
+    """Infer the Ph1→Ph2/3 boundary from host counters alone.
+
+    The signature of the maps-done boundary is the collapse of the
+    *input-read* stream: during Ph1 the hypervisor disks serve a steady
+    synchronous read flow (map input); once the last map finishes, disk
+    traffic flips to write-dominated (reduce spill/merge/output) with
+    only short read bursts.  The detector watches the read share of each
+    window and declares the boundary after ``hysteresis`` consecutive
+    write-dominated windows.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        cluster: "VirtualCluster",
+        params: Optional[DetectorParams] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.params = params or DetectorParams()
+        self.samples: List[ResourceSample] = []
+        #: Detected Ph1 end (None until declared).
+        self.maps_done_detected: Optional[float] = None
+        self._last_counters: Tuple[int, int] = (0, 0)
+        self._cpu_busy_last: float = 0.0
+        self._streak = 0
+        self._stopped = False
+        self._proc = env.process(self._run())
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- internals -----------------------------------------------------------
+    def _take_sample(self) -> ResourceSample:
+        reads = sum(h.disk.stats.read_bytes for h in self.cluster.hosts)
+        writes = sum(h.disk.stats.write_bytes for h in self.cluster.hosts)
+        cpu_busy = sum(vm.cpu.busy_time for vm in self.cluster.vms)
+        dt = self.params.sample_interval
+        prev_r, prev_w = self._last_counters
+        self._last_counters = (reads, writes)
+        cpu_util = (cpu_busy - self._cpu_busy_last) / (
+            dt * max(1, len(self.cluster.vms))
+        )
+        self._cpu_busy_last = cpu_busy
+        return ResourceSample(
+            time=self.env.now,
+            cpu_util=min(1.0, cpu_util),
+            disk_read_rate=(reads - prev_r) / dt,
+            disk_write_rate=(writes - prev_w) / dt,
+        )
+
+    def _run(self):
+        params = self.params
+        warmed = False
+        while not self._stopped:
+            yield self.env.timeout(params.sample_interval)
+            if self._stopped:
+                return
+            sample = self._take_sample()
+            self.samples.append(sample)
+            if self.maps_done_detected is not None:
+                continue
+            busy = sample.disk_read_rate + sample.disk_write_rate > 0
+            if not warmed:
+                # Wait until the input-read stream is established.
+                if busy and sample.read_share > params.write_dominated_share:
+                    warmed = True
+                continue
+            if busy and sample.read_share <= params.write_dominated_share:
+                self._streak += 1
+                if self._streak >= params.hysteresis:
+                    # Boundary sits at the start of the streak.
+                    self.maps_done_detected = (
+                        self.env.now
+                        - params.sample_interval * (params.hysteresis - 1)
+                    )
+            else:
+                self._streak = 0
+
+    # -- analysis helpers ----------------------------------------------------
+    def classify(self, sample: ResourceSample,
+                 cpu_threshold: float = 0.3) -> str:
+        """Paper §IV-A resource classes for one window."""
+        disk_active = sample.disk_read_rate + sample.disk_write_rate > 0
+        cpu_active = sample.cpu_util >= cpu_threshold
+        if cpu_active and disk_active:
+            return "computation+disk"
+        if disk_active:
+            return "disk+network"
+        if cpu_active:
+            return "computation"
+        return "idle"

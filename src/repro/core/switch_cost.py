@@ -1,0 +1,182 @@
+"""Switch-cost measurement (paper §IV-B, Fig. 5) and a predictive model.
+
+The paper measures the cost of moving between two scheduler-pair
+states by running ``dd`` (600 MB of zeroes) in parallel on every VM of
+one host and charging everything the two-state run loses against the
+average of the two pure runs:
+
+    Cost_switch = T_withTwoSolutions - (T_solution1 + T_solution2) / 2
+
+with the switch fired halfway through the expected run.  The cost is
+state-dependent and *non-commutative*, and even a same-to-same switch
+is positive because the sysfs store drains the queue regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.core import Environment
+from ..virt.cluster import ClusterConfig, VirtualCluster
+from ..virt.pair import SchedulerPair, all_pairs
+from ..workloads.ddwrite import DdParallelWrite
+
+__all__ = ["SwitchCostMeter", "SwitchCostMatrix", "SwitchCostModel"]
+
+MB = 1024 * 1024
+
+
+@dataclass
+class SwitchCostMatrix:
+    """Measured costs, keyed by (from_pair, to_pair)."""
+
+    costs: Dict[Tuple[SchedulerPair, SchedulerPair], float]
+    pure_times: Dict[SchedulerPair, float]
+
+    def cost(self, src: SchedulerPair, dst: SchedulerPair) -> float:
+        return self.costs[(src, dst)]
+
+    def asymmetry(self, a: SchedulerPair, b: SchedulerPair) -> float:
+        """|cost(a→b) − cost(b→a)|: zero iff commutative."""
+        return abs(self.costs[(a, b)] - self.costs[(b, a)])
+
+    @property
+    def min_cost(self) -> float:
+        return min(self.costs.values())
+
+    @property
+    def max_cost(self) -> float:
+        return max(self.costs.values())
+
+
+class SwitchCostMeter:
+    """Measure transition costs with the paper's dd methodology."""
+
+    def __init__(
+        self,
+        cluster_config: Optional[ClusterConfig] = None,
+        nbytes: int = 600 * MB,
+        seeds: Sequence[int] = (0,),
+    ):
+        self.cluster_config = cluster_config or ClusterConfig(hosts=1)
+        if self.cluster_config.hosts != 1:
+            # The paper measures within one physical machine.
+            self.cluster_config = self.cluster_config.with_(hosts=1)
+        self.nbytes = nbytes
+        self.seeds = tuple(seeds)
+        self._pure_cache: Dict[SchedulerPair, float] = {}
+
+    # -- runs ------------------------------------------------------------------
+    def _run(self, pair: SchedulerPair, seed: int,
+             switch_to: Optional[SchedulerPair] = None,
+             switch_at: Optional[float] = None) -> float:
+        env = Environment()
+        cluster = VirtualCluster(
+            env,
+            self.cluster_config.with_(initial_pair=pair, seed=seed),
+        )
+        host = cluster.hosts[0]
+        bench = DdParallelWrite(env, host, nbytes=self.nbytes)
+        proc = bench.start()
+
+        if switch_to is not None and switch_at is not None:
+            def switcher():
+                yield env.timeout(switch_at)
+                if proc.is_alive:
+                    yield cluster.set_pair(switch_to)
+
+            env.process(switcher())
+
+        env.run(until=proc)
+        return proc.value
+
+    def pure_time(self, pair: SchedulerPair) -> float:
+        """Mean dd elapsed time under a single pair."""
+        cached = self._pure_cache.get(pair)
+        if cached is None:
+            cached = mean(self._run(pair, seed) for seed in self.seeds)
+            self._pure_cache[pair] = cached
+        return cached
+
+    def transition_cost(self, src: SchedulerPair, dst: SchedulerPair) -> float:
+        """Cost_switch for ``src → dst`` per the paper's formula."""
+        t1 = self.pure_time(src)
+        t2 = self.pure_time(dst)
+        switch_at = min(t1, t2) / 2.0
+        t_both = mean(
+            self._run(src, seed, switch_to=dst, switch_at=switch_at)
+            for seed in self.seeds
+        )
+        return t_both - (t1 + t2) / 2.0
+
+    def matrix(
+        self, pairs: Optional[Sequence[SchedulerPair]] = None
+    ) -> SwitchCostMatrix:
+        pairs = list(pairs) if pairs is not None else all_pairs()
+        costs = {
+            (src, dst): self.transition_cost(src, dst)
+            for src in pairs
+            for dst in pairs
+        }
+        return SwitchCostMatrix(
+            costs=costs,
+            pure_times={p: self.pure_time(p) for p in pairs},
+        )
+
+
+class SwitchCostModel:
+    """Linear predictor of switch cost (paper §VII future work).
+
+    Features per transition: indicator of each scheduler at each
+    endpoint level, plus a bias.  Fitted by least squares on a measured
+    matrix; good enough to rank transitions without measuring all
+    ``S²`` of them.
+    """
+
+    def __init__(self) -> None:
+        self._weights: Optional[np.ndarray] = None
+        self._feature_names: List[str] = []
+
+    @staticmethod
+    def _features(src: SchedulerPair, dst: SchedulerPair) -> Dict[str, float]:
+        feats: Dict[str, float] = {"bias": 1.0}
+        feats[f"from_vmm_{src.vmm}"] = 1.0
+        feats[f"from_vm_{src.vm}"] = 1.0
+        feats[f"to_vmm_{dst.vmm}"] = 1.0
+        feats[f"to_vm_{dst.vm}"] = 1.0
+        feats["same_vmm"] = 1.0 if src.vmm == dst.vmm else 0.0
+        feats["same_vm"] = 1.0 if src.vm == dst.vm else 0.0
+        return feats
+
+    def fit(self, matrix: SwitchCostMatrix) -> float:
+        """Least-squares fit; returns RMS error over the training data."""
+        names: List[str] = sorted(
+            {
+                name
+                for (src, dst) in matrix.costs
+                for name in self._features(src, dst)
+            }
+        )
+        self._feature_names = names
+        rows = []
+        targets = []
+        for (src, dst), cost in matrix.costs.items():
+            feats = self._features(src, dst)
+            rows.append([feats.get(name, 0.0) for name in names])
+            targets.append(cost)
+        a = np.asarray(rows)
+        b = np.asarray(targets)
+        self._weights, *_ = np.linalg.lstsq(a, b, rcond=None)
+        residual = a @ self._weights - b
+        return float(np.sqrt(np.mean(residual**2)))
+
+    def predict(self, src: SchedulerPair, dst: SchedulerPair) -> float:
+        if self._weights is None:
+            raise RuntimeError("model not fitted")
+        feats = self._features(src, dst)
+        x = np.asarray([feats.get(name, 0.0) for name in self._feature_names])
+        return float(x @ self._weights)

@@ -1,0 +1,19 @@
+"""Single-spindle disk substrate: requests, geometry, timing, device."""
+
+from .device import DiskDevice
+from .geometry import DiskGeometry
+from .model import DiskParameters, ServiceBreakdown, ServiceTimeModel
+from .request import SECTOR_SIZE, BlockRequest, IoOp
+from .stats import DeviceStats
+
+__all__ = [
+    "SECTOR_SIZE",
+    "BlockRequest",
+    "DeviceStats",
+    "DiskDevice",
+    "DiskGeometry",
+    "DiskParameters",
+    "IoOp",
+    "ServiceBreakdown",
+    "ServiceTimeModel",
+]

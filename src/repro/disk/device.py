@@ -1,0 +1,347 @@
+"""Block-device queues: admission, dispatch loop, elevator switching.
+
+Two concrete queues share the :class:`ElevatorQueue` machinery:
+
+* :class:`DiskDevice` — the bottom of the stack; "serving" a request
+  means occupying the (single) spindle for its modelled service time.
+* :class:`repro.virt.vdisk.VirtualBlockDevice` — a guest's view; serving
+  means forwarding through the bounded blkfront/blkback ring to Dom0.
+
+Both implement the 2.6-era *elevator switch* protocol the paper
+exploits: when the elevator is replaced, the old one is drained — its
+queued requests move to a plain FIFO dispatch list and new arrivals
+bypass scheduling entirely until the backlog clears.  During that
+window the device effectively degrades to noop and the new elevator
+starts cold; both effects contribute to the measured switching cost
+(paper Fig. 5).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional
+
+from ..iosched.base import DispatchDecision, IOScheduler
+from ..sim.events import AnyOf, Event
+from .model import ServiceTimeModel
+from .request import BlockRequest
+from .stats import DeviceStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+    from ..sim.tracing import TraceBus
+
+__all__ = ["ElevatorQueue", "DiskDevice"]
+
+
+class ElevatorQueue(abc.ABC):
+    """Shared queue machinery: submit, dispatch loop, hot switch."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        scheduler: IOScheduler,
+        name: str,
+        trace: Optional["TraceBus"] = None,
+        switch_control_latency: float = 0.050,
+        quiesce_holds_arrivals: bool = False,
+    ):
+        self.env = env
+        self.scheduler = scheduler
+        self.name = name
+        self.trace = trace
+        #: Fixed control-plane latency of one sysfs elevator write.
+        self.switch_control_latency = switch_control_latency
+        #: True → arrivals during a switch block at admission
+        #: (``elv_may_queue`` semantics); False → they join the dispatch
+        #: FIFO unscheduled (``ELVSWITCH`` bypass semantics, the 2.6
+        #: default) and are served noop-style until the new elevator is
+        #: in place.  Bypass is the default because holding arrivals
+        #: turns the switch into a cluster-wide barrier whose convoy
+        #: effect can *reward* switching — the opposite of the measured
+        #: reality.
+        self.quiesce_holds_arrivals = quiesce_holds_arrivals
+
+        #: Old-elevator requests being drained during a switch (they are
+        #: dispatched with priority, in the old policy's order).
+        self._drain_fifo: Deque[BlockRequest] = deque()
+        #: Requests submitted while a switch is in progress.  The 2.6
+        #: kernel blocks submitters at ``elv_may_queue`` until the queue
+        #: is un-quiesced, so these are *held*, not dispatched — the
+        #: stall this causes under load is the bulk of the paper's
+        #: switching cost.
+        self._held: Deque[BlockRequest] = deque()
+        #: rids of old-elevator requests the switch must see complete.
+        self._drain_watch: set = set()
+        self._switching = False
+        self._switch_waiters: List[Event] = []
+        self.switch_count = 0
+
+        self._wakeup: Event = env.event()
+        self._proc = env.process(self._run())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<{self.__class__.__name__} {self.name} "
+            f"sched={self.scheduler.name} queued={self.queue_depth}>"
+        )
+
+    # -- abstract service --------------------------------------------------------
+    @abc.abstractmethod
+    def _serve(self, request: BlockRequest):
+        """Generator that performs (or forwards) the request."""
+
+    @abc.abstractmethod
+    def _outstanding(self) -> int:
+        """Requests dispatched but not yet completed."""
+
+    @property
+    @abc.abstractmethod
+    def _can_dispatch(self) -> bool:
+        """Whether the service path can take another request now."""
+
+    # -- public API ----------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests queued (scheduler + switch FIFOs), excluding outstanding."""
+        return self.scheduler.pending + len(self._drain_fifo) + len(self._held)
+
+    @property
+    def idle(self) -> bool:
+        return self._outstanding() == 0 and self.queue_depth == 0
+
+    def submit(self, request: BlockRequest) -> Event:
+        """Queue a request; returns its completion event."""
+        now = self.env.now
+        request.queue_time = now
+        if request.submit_time is None:
+            request.submit_time = now
+        request.completion = self.env.event()
+        if self._switching:
+            if self.quiesce_holds_arrivals:
+                # Quiesced: the submitter blocks until the new elevator
+                # is installed.
+                self._held.append(request)
+            else:
+                # ELVSWITCH bypass: straight onto the dispatch FIFO,
+                # unsorted and unmerged.
+                self._drain_fifo.append(request)
+        else:
+            self.scheduler.add_request(request, now)
+        if self.trace is not None:
+            self.trace.publish(
+                now,
+                "disk.submit",
+                device=self.name,
+                rid=request.rid,
+                op=request.op.value,
+                lba=request.lba,
+                nsectors=request.nsectors,
+                process=request.process_id,
+            )
+        self._kick()
+        return request.completion
+
+    def switch_scheduler(self, factory: Callable[[], IOScheduler]) -> Event:
+        """Replace the elevator; returns an event fired when installed.
+
+        Follows the 2.6 protocol: mark the queue as switching, move the
+        old elevator's requests to the FIFO dispatch list, wait for the
+        whole backlog (plus anything outstanding) to drain, then build
+        the new elevator.  A same-to-same switch pays the same price —
+        the paper notes re-writing the current scheduler name is not
+        free, and neither is it here.
+        """
+        done = self.env.event()
+        self.env.process(self._switch_proc(factory, done))
+        return done
+
+    # -- switch internals --------------------------------------------------------------
+    def _switch_proc(self, factory: Callable[[], IOScheduler], done: Event):
+        # Switches serialize (sysfs store is locked in the kernel).
+        while self._switching:
+            waiter = self.env.event()
+            self._switch_waiters.append(waiter)
+            yield waiter
+
+        self._switching = True
+        self.switch_count += 1
+        start = self.env.now
+        # sysfs write + elevator teardown bookkeeping.
+        yield self.env.timeout(self.switch_control_latency)
+
+        # Drain: the old elevator's queue empties onto the FIFO list in
+        # the old policy's dispatch order.
+        drained = self._drain_scheduler_in_policy_order(self.env.now)
+        self._drain_fifo.extend(drained)
+        self._drain_watch = {r.rid for r in drained}
+        self._kick()
+
+        # Wait until the old elevator's backlog has cleared the device
+        # (2.6 waits for the quiesced requests to finish; requests that
+        # arrive meanwhile flow via the bypass FIFO and do not extend
+        # the wait).
+        while self._drain_watch:
+            waiter = self.env.event()
+            self._switch_waiters.append(waiter)
+            yield waiter
+        while self._outstanding() > 0 and self.quiesce_holds_arrivals:
+            waiter = self.env.event()
+            self._switch_waiters.append(waiter)
+            yield waiter
+
+        self.scheduler = factory()
+        self._switching = False
+        # Un-quiesce: requests that blocked during the switch enter the
+        # fresh elevator (which starts cold: empty merge hash, no
+        # anticipation history, fresh CFQ slices).
+        now = self.env.now
+        while self._held:
+            self.scheduler.add_request(self._held.popleft(), now)
+        if self.trace is not None:
+            self.trace.publish(
+                self.env.now,
+                "disk.switched",
+                device=self.name,
+                scheduler=self.scheduler.name,
+                stall=self.env.now - start,
+            )
+        done.succeed(self.env.now - start)
+        self._notify_switch_waiters()
+        self._kick()
+
+    def _drain_scheduler_in_policy_order(self, now: float) -> List[BlockRequest]:
+        """Pull everything out of the old elevator in its dispatch order.
+
+        The drain preserves the old policy's ordering for requests it
+        had already sorted, which is why draining a noop queue full of
+        interleaved writes is slower end-to-end than draining a sorted
+        one.  Idle holds (anticipation, slice idling) are skipped by
+        advancing a pseudo-clock to the hold deadline — the drain does
+        not wait.
+        """
+        ordered: List[BlockRequest] = []
+        t = now
+        guard = self.scheduler.pending * 8 + 64
+        while self.scheduler.pending > 0 and guard > 0:
+            guard -= 1
+            decision = self.scheduler.next_request(t)
+            if decision.request is not None:
+                ordered.append(decision.request)
+            elif decision.wait_until is not None and decision.wait_until > t:
+                t = decision.wait_until
+            else:
+                break
+        if self.scheduler.pending > 0:
+            # Policy refused to dispatch (shouldn't happen) — force drain.
+            ordered.extend(self.scheduler.drain())
+        return ordered
+
+    def _notify_switch_waiters(self) -> None:
+        waiters, self._switch_waiters = self._switch_waiters, []
+        for waiter in waiters:
+            waiter.succeed()
+
+    # -- dispatch loop ------------------------------------------------------------------
+    def _kick(self) -> None:
+        if not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _run(self):
+        env = self.env
+        while True:
+            if not self._can_dispatch:
+                # Service path saturated (spindle busy / ring full).
+                self._wakeup = env.event()
+                yield self._wakeup
+                continue
+            decision = self._next_decision()
+            if decision.request is not None:
+                yield from self._serve(decision.request)
+            elif decision.wait_until is not None and decision.wait_until > env.now:
+                # Anticipation / slice idling: hold unless a new request
+                # arrives first.
+                self._wakeup = env.event()
+                hold = env.timeout(decision.wait_until - env.now)
+                yield AnyOf(env, [self._wakeup, hold])
+            elif decision.wait_until is not None:
+                continue  # hold already expired; ask again
+            else:
+                self._wakeup = env.event()
+                yield self._wakeup
+
+    def _next_decision(self) -> DispatchDecision:
+        if self._drain_fifo:
+            return DispatchDecision(request=self._drain_fifo.popleft())
+        if self._switching:
+            return DispatchDecision()  # held requests wait out the switch
+        return self.scheduler.next_request(self.env.now)
+
+    def _completed(self, request: BlockRequest) -> None:
+        """Common completion path: notify scheduler, waiters, tracing."""
+        request.complete_time = self.env.now
+        if not self._switching:
+            self.scheduler.on_complete(request, self.env.now)
+        if self.trace is not None:
+            self.trace.publish(
+                self.env.now,
+                "disk.complete",
+                device=self.name,
+                rid=request.rid,
+                op=request.op.value,
+                nbytes=request.nbytes,
+                process=request.process_id,
+            )
+        for event in request.all_completions():
+            event.succeed(request)
+        if self._switching:
+            self._drain_watch.discard(request.rid)
+            self._notify_switch_waiters()
+        self._kick()
+
+
+class DiskDevice(ElevatorQueue):
+    """A single-spindle block device with a pluggable elevator."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        scheduler: IOScheduler,
+        model: ServiceTimeModel,
+        name: str = "sda",
+        trace: Optional["TraceBus"] = None,
+        stats: Optional[DeviceStats] = None,
+        switch_control_latency: float = 0.050,
+        quiesce_holds_arrivals: bool = False,
+    ):
+        self.model = model
+        self.stats = stats or DeviceStats()
+        self.in_flight: Optional[BlockRequest] = None
+        super().__init__(env, scheduler, name, trace, switch_control_latency,
+                         quiesce_holds_arrivals)
+
+    # -- ElevatorQueue hooks -----------------------------------------------------
+    def _outstanding(self) -> int:
+        return 0 if self.in_flight is None else 1
+
+    @property
+    def _can_dispatch(self) -> bool:
+        return self.in_flight is None
+
+    def _serve(self, request: BlockRequest):
+        env = self.env
+        self.in_flight = request
+        request.dispatch_time = env.now
+        breakdown = self.model.service(request)
+        yield env.timeout(breakdown.total)
+        self.in_flight = None
+        request.complete_time = env.now  # stats need it before _completed
+        self.stats.on_complete(
+            request,
+            breakdown.total,
+            breakdown.seek,
+            breakdown.rotation,
+            breakdown.transfer,
+        )
+        self._completed(request)

@@ -1,0 +1,66 @@
+"""Disk geometry: LBA-to-cylinder mapping and zoned transfer rates.
+
+A single-spindle SATA disk circa 2010: data density (and therefore the
+sequential transfer rate) falls roughly linearly from the outer to the
+inner cylinders, and seeking between cylinders costs time that grows
+with the square root of the distance plus a fixed settle component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .request import SECTOR_SIZE
+
+__all__ = ["DiskGeometry"]
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Static layout of the platter stack.
+
+    The defaults model a 1 TB 7200 RPM SATA disk like the paper's
+    testbed drives.
+    """
+
+    #: Total capacity in 512-byte sectors (1 TB default).
+    total_sectors: int = 2_000_000_000
+    #: Number of logical cylinders used for seek-distance accounting.
+    cylinders: int = 150_000
+    #: Sequential transfer rate at the outermost cylinder, bytes/second.
+    outer_rate: float = 130e6
+    #: Sequential transfer rate at the innermost cylinder, bytes/second.
+    inner_rate: float = 65e6
+
+    def __post_init__(self) -> None:
+        if self.total_sectors <= 0 or self.cylinders <= 0:
+            raise ValueError("geometry dimensions must be positive")
+        if self.inner_rate <= 0 or self.outer_rate < self.inner_rate:
+            raise ValueError("rates must satisfy 0 < inner_rate <= outer_rate")
+
+    @property
+    def sectors_per_cylinder(self) -> int:
+        return max(1, self.total_sectors // self.cylinders)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_sectors * SECTOR_SIZE
+
+    def cylinder_of(self, lba: int) -> int:
+        """Cylinder containing ``lba`` (clamped to the last cylinder)."""
+        if lba < 0:
+            raise ValueError(f"negative LBA {lba}")
+        return min(lba // self.sectors_per_cylinder, self.cylinders - 1)
+
+    def rate_at(self, lba: int) -> float:
+        """Sequential transfer rate (bytes/s) at ``lba``.
+
+        Outer cylinders (low LBAs) are fastest, falling linearly to the
+        inner rate — the standard zoned-bit-recording approximation.
+        """
+        frac = self.cylinder_of(lba) / max(1, self.cylinders - 1)
+        return self.outer_rate - frac * (self.outer_rate - self.inner_rate)
+
+    def seek_distance(self, from_lba: int, to_lba: int) -> int:
+        """Seek distance in cylinders between two LBAs."""
+        return abs(self.cylinder_of(to_lba) - self.cylinder_of(from_lba))

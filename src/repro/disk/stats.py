@@ -1,0 +1,78 @@
+"""Per-device statistics: throughput samplers, latencies, seek accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..sim.tracing import IntervalSampler
+from .request import BlockRequest, IoOp
+
+__all__ = ["DeviceStats"]
+
+
+@dataclass
+class DeviceStats:
+    """Rolling statistics for one block device.
+
+    ``throughput`` accumulates completed bytes per wall-clock interval —
+    the analogue of sampling ``iostat`` on the testbed, which is what
+    the paper's Fig. 3 CDFs are built from.
+    """
+
+    sample_interval: float = 1.0
+    throughput: IntervalSampler = field(init=False)
+    read_bytes: int = 0
+    write_bytes: int = 0
+    read_count: int = 0
+    write_count: int = 0
+    merged_count: int = 0
+    busy_time: float = 0.0
+    seek_time: float = 0.0
+    rotation_time: float = 0.0
+    transfer_time: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    #: Set True to keep per-request latencies (memory vs detail).
+    keep_latencies: bool = True
+
+    def __post_init__(self) -> None:
+        self.throughput = IntervalSampler(interval=self.sample_interval)
+
+    def on_complete(self, request: BlockRequest, service_total: float,
+                    seek: float, rotation: float, transfer: float) -> None:
+        """Record a completed request (after merging, so one disk command)."""
+        if request.op is IoOp.READ:
+            self.read_bytes += request.nbytes
+            self.read_count += 1
+        else:
+            self.write_bytes += request.nbytes
+            self.write_count += 1
+        self.merged_count += len(request.merged_children)
+        self.busy_time += service_total
+        self.seek_time += seek
+        self.rotation_time += rotation
+        self.transfer_time += transfer
+        assert request.complete_time is not None
+        self.throughput.add(request.complete_time, request.nbytes)
+        if self.keep_latencies and request.latency is not None:
+            self.latencies.append(request.latency)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def total_requests(self) -> int:
+        return self.read_count + self.write_count
+
+    def mean_throughput(self, duration: float) -> float:
+        """Average bytes/second over ``duration``."""
+        if duration <= 0:
+            return 0.0
+        return self.total_bytes / duration
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of ``duration`` the spindle was busy."""
+        if duration <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / duration)

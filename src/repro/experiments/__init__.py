@@ -1,0 +1,54 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module's ``run(...)`` returns an
+:class:`~repro.experiments.base.ExperimentResult` whose ``render()``
+prints the same rows/series the paper reports plus PASS/FAIL shape
+checks.  ``repro.cli`` and ``benchmarks/`` drive these.
+"""
+
+from . import (
+    ablations,
+    fig1_sysbench,
+    fig2_pairs,
+    fig3_cdf,
+    fig4_points,
+    fig5_switchcost,
+    fig6_phase_scores,
+    fig7_adaptive,
+    fig8_phases,
+    table1_sort,
+    table2_waves,
+)
+from .base import ExperimentResult, ShapeCheck
+from .common import DEFAULT_SCALE, scaled_cluster, scaled_job, scaled_testbed
+
+#: Registry for the CLI: experiment id -> zero-config callable.
+EXPERIMENTS = {
+    "fig1": fig1_sysbench.run,
+    "fig2": fig2_pairs.run,
+    "fig3": fig3_cdf.run,
+    "fig4": fig4_points.run,
+    "fig5": fig5_switchcost.run,
+    "fig6": fig6_phase_scores.run,
+    "fig7a": fig7_adaptive.run_workloads,
+    "fig7b": fig7_adaptive.run_consolidation,
+    "fig7c": fig7_adaptive.run_datasize,
+    "fig7d": fig7_adaptive.run_cluster_scale,
+    "fig8": fig8_phases.run,
+    "table1": table1_sort.run,
+    "table2": table2_waves.run,
+    "ablation-mechanisms": ablations.run_mechanisms,
+    "ablation-online": ablations.run_online,
+    "ablation-chain": ablations.run_chain,
+    "ablation-phases": ablations.run_phase_count,
+}
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ShapeCheck",
+    "scaled_cluster",
+    "scaled_job",
+    "scaled_testbed",
+]

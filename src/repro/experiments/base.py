@@ -1,0 +1,53 @@
+"""Common shape for experiment modules.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` where
+the result carries the raw rows, a ``render()`` producing the ASCII
+table/series matching the paper artifact, and a ``checks()`` mapping of
+named shape assertions (used by the benchmark harness to verify the
+reproduction qualitatively, never against absolute seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+__all__ = ["ExperimentResult", "ShapeCheck"]
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative assertion about an experiment's outcome."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}" + (f": {self.detail}" if self.detail else "")
+
+
+@dataclass
+class ExperimentResult:
+    """Raw data plus rendering and shape checks for one experiment."""
+
+    experiment_id: str
+    title: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    renderer: Callable[["ExperimentResult"], str] = None  # type: ignore[assignment]
+    checker: Callable[["ExperimentResult"], List[ShapeCheck]] = None  # type: ignore[assignment]
+
+    def render(self) -> str:
+        header = f"### {self.experiment_id}: {self.title}"
+        body = self.renderer(self) if self.renderer else ""
+        checks = self.checks()
+        check_lines = "\n".join(str(c) for c in checks)
+        return "\n".join(part for part in (header, body, check_lines) if part)
+
+    def checks(self) -> List[ShapeCheck]:
+        return self.checker(self) if self.checker else []
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(c.passed for c in self.checks())

@@ -1,0 +1,128 @@
+"""Fig. 3 — CDFs of I/O throughput in the VMM and the VMs during sort,
+comparing (CFQ, CFQ) against (Anticipatory, Deadline).
+
+Paper claims: (AS, DL) achieves higher Dom0 throughput (max 184 MB/s,
+mean 52.3 vs CFQ's 159/47.1) while (CFQ, CFQ) achieves better
+*fairness* across the four VMs (their per-VM means are closer).
+"""
+
+from __future__ import annotations
+
+from statistics import mean, pstdev
+from typing import Dict, List, Sequence
+
+from ..hdfs.namenode import NameNode
+from ..mapreduce.jobtracker import MapReduceJob
+from ..metrics.cdf import Cdf
+from ..metrics.summary import format_series, format_table
+from ..net.topology import Topology
+from ..sim.core import Environment
+from ..virt.cluster import VirtualCluster
+from ..virt.pair import SchedulerPair
+from ..workloads.profiles import SORT
+from .base import ExperimentResult, ShapeCheck
+from .common import DEFAULT_SCALE, scaled_job, scaled_cluster
+
+__all__ = ["run", "COMPARED_PAIRS"]
+
+MB = 1024 * 1024
+
+COMPARED_PAIRS = (
+    SchedulerPair("cfq", "cfq"),
+    SchedulerPair("anticipatory", "deadline"),
+)
+
+
+def _instrumented_run(pair: SchedulerPair, scale: float, seed: int):
+    """One sort run returning Dom0 and per-VM throughput samples (MB/s)."""
+    env = Environment()
+    cluster = VirtualCluster(
+        env, scaled_cluster(scale, seed=seed).with_(initial_pair=pair)
+    )
+    topology = Topology(env)
+    job_config = scaled_job(SORT, scale)
+    namenode = NameNode(cluster, block_size=job_config.block_size)
+    job = MapReduceJob(env, cluster, topology, namenode, job_config)
+    proc = job.start()
+    env.run(until=proc)
+    duration = env.now
+    host = cluster.hosts[0]
+    dom0 = [r / MB for r in host.disk.stats.throughput.rates(0.0, duration)]
+    vms = {
+        vm.vm_id: [r / MB for r in vm.vdisk.stats.throughput.rates(0.0, duration)]
+        for vm in host.vms
+    }
+    return dom0, vms
+
+
+def run(scale: float = DEFAULT_SCALE, seeds: Sequence[int] = (0,)) -> ExperimentResult:
+    dom0_samples: Dict[SchedulerPair, List[float]] = {p: [] for p in COMPARED_PAIRS}
+    vm_means: Dict[SchedulerPair, List[float]] = {p: [] for p in COMPARED_PAIRS}
+    vm_samples: Dict[SchedulerPair, List[float]] = {p: [] for p in COMPARED_PAIRS}
+    for pair in COMPARED_PAIRS:
+        for seed in seeds:
+            dom0, vms = _instrumented_run(pair, scale, seed)
+            dom0_samples[pair].extend(dom0)
+            for series in vms.values():
+                vm_means[pair].append(mean(series) if series else 0.0)
+                vm_samples[pair].extend(series)
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="I/O throughput CDFs in VMM and VMs (sort)",
+        data={
+            "dom0": {p: Cdf.of(s) for p, s in dom0_samples.items()},
+            "vm": {p: Cdf.of(s) for p, s in vm_samples.items()},
+            "vm_means": vm_means,
+            "scale": scale,
+        },
+        renderer=_render,
+        checker=_check,
+    )
+
+
+def _render(result: ExperimentResult) -> str:
+    parts = []
+    rows = []
+    for level in ("dom0", "vm"):
+        for pair, cdf in result.data[level].items():
+            rows.append(
+                [level, str(pair), cdf.mean, cdf.percentile(50),
+                 cdf.percentile(90), cdf.maximum]
+            )
+    parts.append(
+        format_table(
+            ["level", "pair", "mean MB/s", "p50", "p90", "max"],
+            rows,
+            title="throughput distribution summaries",
+        )
+    )
+    for pair, cdf in result.data["dom0"].items():
+        parts.append(format_series(f"dom0 CDF {pair}", cdf.points(12)))
+    return "\n".join(parts)
+
+
+def _check(result: ExperimentResult) -> List[ShapeCheck]:
+    cfq, asdl = COMPARED_PAIRS
+    dom0 = result.data["dom0"]
+    vm_means = result.data["vm_means"]
+    checks = [
+        ShapeCheck(
+            "(AS, DL) better mean Dom0 throughput",
+            dom0[asdl].mean > dom0[cfq].mean,
+            f"{dom0[asdl].mean:.1f} vs {dom0[cfq].mean:.1f} MB/s "
+            "(paper 52.3 vs 47.1)",
+        ),
+        ShapeCheck(
+            "(AS, DL) better peak Dom0 throughput",
+            dom0[asdl].maximum >= dom0[cfq].maximum,
+            f"{dom0[asdl].maximum:.0f} vs {dom0[cfq].maximum:.0f} MB/s "
+            "(paper 184 vs 159)",
+        ),
+        ShapeCheck(
+            "(CFQ, CFQ) fairer across VMs",
+            pstdev(vm_means[cfq]) <= pstdev(vm_means[asdl]) + 1e-9,
+            f"per-VM mean stdev {pstdev(vm_means[cfq]):.2f} vs "
+            f"{pstdev(vm_means[asdl]):.2f} MB/s",
+        ),
+    ]
+    return checks

@@ -1,0 +1,204 @@
+"""Fig. 7 — the adaptive meta-scheduler against the two baselines, in
+four scenarios:
+
+* (a) the three workloads (paper: adaptive beats default / best-single
+  by 6.5%/2% for wordcount, 13%/7% w/o combiner, 16%/7% for sort);
+* (b) VM consolidation 2/4/6 per host (gains grow with consolidation:
+  11%/15%/22% vs default);
+* (c) data size 256 MB–2 GB per node (gains grow with data size);
+* (d) cluster scale 3–6 physical nodes (gains grow with scale).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.metasched import AdaptiveMetaScheduler, AdaptiveReport
+from ..mapreduce.job import MB, JobSpec
+from ..metrics.summary import format_table
+from ..virt.pair import SchedulerPair
+from ..workloads.profiles import SORT, WORDCOUNT, WORDCOUNT_NO_COMBINER
+from .base import ExperimentResult, ShapeCheck
+from .common import DEFAULT_SCALE, scaled_testbed
+
+__all__ = [
+    "run_workloads",
+    "run_consolidation",
+    "run_datasize",
+    "run_cluster_scale",
+    "SWEEP_PAIRS",
+]
+
+#: Candidate subset used by the sweeps (b)–(d): covers every VMM
+#: elevator and the guest choices that matter; keeps each sweep point
+#: at ~8 profiling runs instead of 16.
+SWEEP_PAIRS = tuple(
+    SchedulerPair.parse(s)
+    for s in ("cc", "cd", "ac", "ad", "dd", "dc", "nc", "an")
+)
+
+
+def _report(
+    spec: JobSpec,
+    scale: float,
+    seeds: Sequence[int],
+    pairs: Optional[Sequence[SchedulerPair]],
+    **testbed_overrides,
+) -> AdaptiveReport:
+    config = scaled_testbed(spec, scale=scale, seeds=seeds, **testbed_overrides)
+    meta = AdaptiveMetaScheduler(config, pairs=list(pairs) if pairs else None)
+    return meta.report()
+
+
+def _rows(reports: Dict[str, AdaptiveReport]) -> List[List]:
+    rows = []
+    for label, rep in reports.items():
+        rows.append(
+            [
+                label,
+                rep.default_time,
+                f"{rep.best_single_pair}",
+                rep.best_single_time,
+                f"{rep.adaptive_solution}",
+                rep.adaptive_time,
+                100 * rep.gain_vs_default,
+                100 * rep.gain_vs_best_single,
+            ]
+        )
+    return rows
+
+
+_HEADERS = [
+    "scenario",
+    "default s",
+    "best single",
+    "single s",
+    "adaptive plan",
+    "adaptive s",
+    "gain vs default %",
+    "gain vs single %",
+]
+
+
+def _result(exp_id: str, title: str, reports: Dict[str, AdaptiveReport],
+            scale: float, trend_check: bool = False) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=exp_id,
+        title=title,
+        data={"reports": reports, "scale": scale, "trend_check": trend_check},
+        renderer=lambda r: format_table(
+            _HEADERS, _rows(r.data["reports"]),
+            title=f"scale={r.data['scale']}",
+        ),
+        checker=_check,
+    )
+
+
+def _check(result: ExperimentResult) -> List[ShapeCheck]:
+    reports: Dict[str, AdaptiveReport] = result.data["reports"]
+    checks = []
+    for label, rep in reports.items():
+        checks.append(
+            ShapeCheck(
+                f"{label}: adaptive never loses to default",
+                rep.gain_vs_default > -0.005,
+                f"{100 * rep.gain_vs_default:.1f}% (0% on CPU-bound "
+                "workloads where elevators cannot matter)"
+                if rep.gain_vs_default <= 0.001
+                else f"{100 * rep.gain_vs_default:.1f}%",
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                f"{label}: adaptive >= best single (within noise)",
+                rep.adaptive_time <= rep.best_single_time * 1.03,
+                f"adaptive {rep.adaptive_time:.1f}s vs single "
+                f"{rep.best_single_time:.1f}s",
+            )
+        )
+    if result.data["trend_check"] and len(reports) >= 3:
+        gains = [rep.gain_vs_default for rep in reports.values()]
+        checks.append(
+            ShapeCheck(
+                "gain trends upward across the sweep",
+                gains[-1] > gains[0],
+                ", ".join(f"{100 * g:.1f}%" for g in gains),
+            )
+        )
+    return checks
+
+
+# -- the four panels --------------------------------------------------------------
+
+
+def run_workloads(
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (0,),
+    pairs: Optional[Sequence[SchedulerPair]] = None,
+) -> ExperimentResult:
+    """(a) adaptive vs baselines on the three benchmarks (full 16 pairs)."""
+    reports = {
+        spec.name: _report(spec, scale, seeds, pairs)
+        for spec in (WORDCOUNT, WORDCOUNT_NO_COMBINER, SORT)
+    }
+    return _result("fig7a", "Adaptive tuning across workloads", reports, scale)
+
+
+def run_consolidation(
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (0,),
+    consolidations: Sequence[int] = (2, 4, 6),
+    pairs: Sequence[SchedulerPair] = SWEEP_PAIRS,
+) -> ExperimentResult:
+    """(b) sort with 2/4/6 VMs per physical host."""
+    reports = {
+        f"{n} VMs/host": _report(
+            SORT, scale, seeds, pairs, vms_per_host=n
+        )
+        for n in consolidations
+    }
+    return _result(
+        "fig7b", "Adaptive tuning vs VM consolidation (sort)", reports, scale,
+        trend_check=True,
+    )
+
+
+def run_datasize(
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (0,),
+    sizes_mb: Sequence[int] = (256, 512, 1024, 2048),
+    pairs: Sequence[SchedulerPair] = SWEEP_PAIRS,
+) -> ExperimentResult:
+    """(c) sort with growing data per node (scaled)."""
+    reports = {}
+    for size in sizes_mb:
+        bytes_per_vm = int(size * MB * scale)
+        reports[f"{size} MB/node"] = _report(
+            SORT, scale, seeds, pairs, bytes_per_vm=bytes_per_vm
+        )
+    return _result(
+        "fig7c", "Adaptive tuning vs data size (sort)", reports, scale,
+        trend_check=True,
+    )
+
+
+def run_cluster_scale(
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (0,),
+    host_counts: Sequence[int] = (3, 4, 5, 6),
+    pairs: Sequence[SchedulerPair] = SWEEP_PAIRS,
+) -> ExperimentResult:
+    """(d) sort on 3–6 physical hosts (4 VMs each)."""
+    reports = {
+        f"{n} hosts": _report(SORT, scale, seeds, pairs, hosts=n)
+        for n in host_counts
+    }
+    # No monotone-trend assertion here: per-node improvement is roughly
+    # constant (as the paper itself notes, "the improvement in each
+    # physical node is nearly the same") and the aggregate trend is
+    # within single-seed noise; the per-scale positive-gain checks carry
+    # the claim.
+    return _result(
+        "fig7d", "Adaptive tuning vs cluster scale (sort)", reports, scale,
+        trend_check=False,
+    )

@@ -1,0 +1,82 @@
+"""Fig. 8 — phase duration breakdown per benchmark.
+
+The paper shows the relative lengths of the phases for each benchmark:
+wordcount's first phase dominates (tiny reduce output), wordcount w/o
+combiner has a long first phase with a visible second, and sort's two
+phases are the closest to balanced — which is why sort benefits most
+from per-phase tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.experiment import JobRunner
+from ..metrics.summary import format_table
+from ..virt.pair import DEFAULT_PAIR
+from ..workloads.profiles import SORT, WORDCOUNT, WORDCOUNT_NO_COMBINER
+from .base import ExperimentResult, ShapeCheck
+from .common import DEFAULT_SCALE, scaled_testbed
+
+__all__ = ["run"]
+
+BENCHMARKS = (WORDCOUNT, WORDCOUNT_NO_COMBINER, SORT)
+
+
+def run(scale: float = DEFAULT_SCALE, seeds: Sequence[int] = (0,)) -> ExperimentResult:
+    phases: Dict[str, Tuple[float, float]] = {}
+    for spec in BENCHMARKS:
+        runner = JobRunner(scaled_testbed(spec, scale=scale, seeds=seeds))
+        outcome = runner.run_uniform(DEFAULT_PAIR)
+        phases[spec.name] = outcome.mean_phases
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Phase durations per benchmark (default pair)",
+        data={"phases": phases, "scale": scale},
+        renderer=_render,
+        checker=_check,
+    )
+
+
+def _render(result: ExperimentResult) -> str:
+    rows = []
+    for name, (ph1, ph2) in result.data["phases"].items():
+        total = ph1 + ph2
+        rows.append([name, ph1, ph2, total, 100 * ph1 / total])
+    return format_table(
+        ["benchmark", "phase1 s", "phase2 s", "total s", "phase1 %"],
+        rows,
+        title=f"scale={result.data['scale']}",
+    )
+
+
+def _check(result: ExperimentResult) -> List[ShapeCheck]:
+    phases = result.data["phases"]
+    checks = []
+
+    def share(name):
+        ph1, ph2 = phases[name]
+        return ph1 / (ph1 + ph2)
+
+    checks.append(
+        ShapeCheck(
+            "wordcount dominated by phase 1",
+            share("wordcount") > 0.7,
+            f"{100 * share('wordcount'):.0f}% of the job",
+        )
+    )
+    checks.append(
+        ShapeCheck(
+            "sort phases the most balanced of the three",
+            abs(share("sort") - 0.5)
+            <= min(
+                abs(share("wordcount") - 0.5),
+                abs(share("wordcount-nocombiner") - 0.5),
+            )
+            + 1e-9,
+            ", ".join(
+                f"{n}={100 * share(n):.0f}%" for n in phases
+            ),
+        )
+    )
+    return checks

@@ -1,0 +1,116 @@
+"""Table I — sort runtime for all 16 pairs, as a 4×4 matrix.
+
+Paper values (seconds, VM rows × VMM columns):
+
+              CFQ  Deadline  Anticipatory  Noop
+    CFQ       402  436       375           962
+    Deadline  405  415       365           927
+    Antic.    399  516       369           987
+    Noop      413  418       370           915
+
+Shape checks: the Anticipatory column wins every row; the Noop column
+is catastrophically worse (~2.3×); the best pair beats (CFQ, CFQ) by
+roughly 9%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..iosched.registry import SCHEDULER_NAMES, abbrev
+from ..metrics.summary import format_matrix
+from ..virt.pair import DEFAULT_PAIR, SchedulerPair
+from ..workloads.profiles import SORT
+from .base import ExperimentResult, ShapeCheck
+from .common import DEFAULT_SCALE
+from .fig2_pairs import run_one_benchmark
+
+__all__ = ["run", "PAPER_TABLE_I"]
+
+#: The paper's measured matrix, keyed (vm_row, vmm_col) by canonical name.
+PAPER_TABLE_I = {
+    ("cfq", "cfq"): 402, ("cfq", "deadline"): 436, ("cfq", "anticipatory"): 375, ("cfq", "noop"): 962,
+    ("deadline", "cfq"): 405, ("deadline", "deadline"): 415, ("deadline", "anticipatory"): 365, ("deadline", "noop"): 927,
+    ("anticipatory", "cfq"): 399, ("anticipatory", "deadline"): 516, ("anticipatory", "anticipatory"): 369, ("anticipatory", "noop"): 987,
+    ("noop", "cfq"): 413, ("noop", "deadline"): 418, ("noop", "anticipatory"): 370, ("noop", "noop"): 915,
+}
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (0, 1, 2),
+    durations: Optional[Dict[SchedulerPair, float]] = None,
+) -> ExperimentResult:
+    if durations is None:
+        durations = run_one_benchmark(SORT, scale=scale, seeds=seeds)
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Sort runtime matrix (VM rows x VMM columns)",
+        data={"durations": durations, "scale": scale},
+        renderer=_render,
+        checker=_check,
+    )
+
+
+def _render(result: ExperimentResult) -> str:
+    durations = result.data["durations"]
+    values = {}
+    for pair, secs in durations.items():
+        values[(abbrev(pair.vm), abbrev(pair.vmm))] = secs
+    labels = [abbrev(n) for n in SCHEDULER_NAMES]
+    return format_matrix(
+        labels,
+        labels,
+        values,
+        title=f"seconds (rows=VM elevator, cols=VMM elevator; scale={result.data['scale']})",
+    )
+
+
+def _check(result: ExperimentResult) -> List[ShapeCheck]:
+    durations = result.data["durations"]
+    checks = []
+
+    def col(vmm):
+        return {p.vm: d for p, d in durations.items() if p.vmm == vmm}
+
+    antic = col("anticipatory")
+    others = {
+        vmm: col(vmm) for vmm in SCHEDULER_NAMES if vmm not in ("anticipatory", "noop")
+    }
+    wins = sum(
+        1
+        for vm in antic
+        if all(antic[vm] <= others[vmm][vm] + 1e-9 for vmm in others)
+    )
+    checks.append(
+        ShapeCheck(
+            "Anticipatory VMM column wins (most rows)",
+            wins >= 3,
+            f"AS best in {wins}/4 rows",
+        )
+    )
+
+    noop = col("noop")
+    non_noop_best = min(
+        d for p, d in durations.items() if p.vmm != "noop"
+    )
+    ratio = min(noop.values()) / non_noop_best
+    checks.append(
+        ShapeCheck(
+            "Noop VMM column catastrophic",
+            ratio > 1.2,
+            f"x{ratio:.2f} vs best non-noop (paper ~x2.3)",
+        )
+    )
+
+    best = min(durations.values())
+    default = durations[DEFAULT_PAIR]
+    gain = 1 - best / default
+    checks.append(
+        ShapeCheck(
+            "best single pair beats default by a margin",
+            0.02 < gain < 0.35,
+            f"{100 * gain:.1f}% (paper ~9%)",
+        )
+    )
+    return checks

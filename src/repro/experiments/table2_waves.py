@@ -1,0 +1,98 @@
+"""Table II — percentage of non-concurrent shuffle vs number of waves.
+
+    waves  = blocks / (data nodes × slots per node)
+    paper: 1→29.5%, 1.5→17%, 2→10.9%, 2.5→6.4%, 3→5.3%, 3.5→3.4%,
+           4→2.1%, 4.5→2.3%, 5→1.4%
+
+Shape: the non-concurrent-shuffle share falls steeply and monotonically
+(modulo noise) as waves increase — the justification for folding Ph2
+into Ph3 at the paper's 4-wave operating point.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import Dict, List, Sequence
+
+from ..core.experiment import JobRunner
+from ..metrics.summary import format_table
+from ..workloads.profiles import SORT
+from .base import ExperimentResult, ShapeCheck
+from .common import DEFAULT_SCALE, scaled_testbed
+from ..mapreduce.job import MB
+
+__all__ = ["run", "PAPER_TABLE_II", "DEFAULT_WAVES"]
+
+PAPER_TABLE_II = {
+    1: 29.5, 1.5: 17.0, 2: 10.9, 2.5: 6.4, 3: 5.3,
+    3.5: 3.4, 4: 2.1, 4.5: 2.3, 5: 1.4,
+}
+
+DEFAULT_WAVES = (1, 2, 3, 4, 5)
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (0,),
+    waves: Sequence[float] = DEFAULT_WAVES,
+) -> ExperimentResult:
+    """Vary the wave count by varying the number of blocks per VM.
+
+    Input volume per VM is held constant; the block size shrinks as the
+    block count grows, exactly like re-chunking a fixed dataset.
+    """
+    pct: Dict[float, float] = {}
+    bytes_per_vm = int(512 * MB * scale)
+    base = scaled_testbed(SORT, scale=scale, seeds=seeds)
+    for w in waves:
+        blocks_per_vm = max(1, round(w * 2))  # 2 map slots per VM
+        block_size = max(1 * MB, bytes_per_vm // blocks_per_vm)
+        config = base.with_(
+            job=base.job.with_(
+                bytes_per_vm=blocks_per_vm * block_size,
+                block_size=block_size,
+            )
+        )
+        runner = JobRunner(config)
+        outcome = runner.run_uniform(config.cluster.initial_pair)
+        pct[w] = mean(
+            r.phases.non_concurrent_shuffle_pct for r in outcome.results
+        )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Non-concurrent shuffle share vs map waves (sort)",
+        data={"pct": pct, "scale": scale},
+        renderer=_render,
+        checker=_check,
+    )
+
+
+def _render(result: ExperimentResult) -> str:
+    pct = result.data["pct"]
+    rows = [
+        [w, pct[w], PAPER_TABLE_II.get(w, float("nan"))] for w in sorted(pct)
+    ]
+    return format_table(
+        ["waves", "measured %", "paper %"],
+        rows,
+        title=f"scale={result.data['scale']}",
+    )
+
+
+def _check(result: ExperimentResult) -> List[ShapeCheck]:
+    pct = result.data["pct"]
+    ws = sorted(pct)
+    first, last = pct[ws[0]], pct[ws[-1]]
+    checks = [
+        ShapeCheck(
+            "non-concurrent shuffle shrinks with waves",
+            last < first,
+            f"{first:.1f}% at {ws[0]} waves -> {last:.1f}% at {ws[-1]} waves",
+        ),
+        ShapeCheck(
+            "steep early drop (>=30% relative by mid-table)",
+            pct[ws[len(ws) // 2]] < first * 0.7 + 1e-9,
+            "",
+        ),
+    ]
+    return checks

@@ -1,0 +1,14 @@
+"""HDFS substrate: namespace, block placement, replicated I/O."""
+
+from .blocks import DEFAULT_BLOCK_SIZE, DEFAULT_REPLICATION, HdfsBlock, HdfsFile
+from .datanode import DataNodeService
+from .namenode import NameNode
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_REPLICATION",
+    "DataNodeService",
+    "HdfsBlock",
+    "HdfsFile",
+    "NameNode",
+]

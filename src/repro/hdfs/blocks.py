@@ -1,0 +1,53 @@
+"""HDFS block metadata."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["HdfsBlock", "HdfsFile", "DEFAULT_BLOCK_SIZE", "DEFAULT_REPLICATION"]
+
+#: Hadoop 0.19's default dfs.block.size.
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+#: The paper stores two replicas per chunk.
+DEFAULT_REPLICATION = 2
+
+_block_counter = itertools.count(1)
+
+
+@dataclass
+class HdfsBlock:
+    """One block: its size and the VMs holding replicas.
+
+    ``replicas[0]`` is the primary (usually local to the writer); the
+    guest-file name for a replica on VM ``v`` is ``local_name(v)``.
+    """
+
+    path: str
+    index: int
+    size_bytes: int
+    replicas: List[str] = field(default_factory=list)
+    block_id: int = field(default_factory=lambda: next(_block_counter))
+
+    def local_name(self, vm_id: str) -> str:
+        return f"blk_{self.block_id}@{vm_id}"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("block size must be positive")
+
+
+@dataclass
+class HdfsFile:
+    """An HDFS file: an ordered list of blocks."""
+
+    path: str
+    blocks: List[HdfsBlock] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(b.size_bytes for b in self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)

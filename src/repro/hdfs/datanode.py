@@ -1,0 +1,136 @@
+"""DataNode I/O paths: block reads and the replication write pipeline."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..sim.events import AllOf
+from .blocks import HdfsBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.topology import Topology
+    from ..sim.core import Environment
+    from ..virt.cluster import VirtualCluster
+
+__all__ = ["DataNodeService"]
+
+#: HDFS streams blocks in 64 KB packets; we batch them into larger
+#: pipeline segments to keep the event count sane.
+PIPELINE_SEGMENT = 4 * 1024 * 1024
+
+
+class DataNodeService:
+    """Cluster-wide helper implementing block read/write as generators.
+
+    There is one logical DataNode per VM; this object routes an
+    operation to the right VM's filesystem/page cache and the network.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        cluster: "VirtualCluster",
+        topology: "Topology",
+        segment_bytes: int = PIPELINE_SEGMENT,
+    ):
+        if segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        self.env = env
+        self.cluster = cluster
+        self.topology = topology
+        self.segment_bytes = segment_bytes
+
+    # -- reads ------------------------------------------------------------------
+    def pick_replica(self, block: HdfsBlock, reader_vm: str) -> str:
+        """Closest replica: same VM, then same host, then first."""
+        if reader_vm in block.replicas:
+            return reader_vm
+        reader_host = self.cluster.vm(reader_vm).host_name
+        for vm_id in block.replicas:
+            if self.cluster.vm(vm_id).host_name == reader_host:
+                return vm_id
+        return block.replicas[0]
+
+    def read_block(self, block: HdfsBlock, reader_vm: str, pid: Any,
+                   offset: int = 0, length: Optional[int] = None):
+        """Generator: stream (part of) a block to ``reader_vm``.
+
+        Local replica → straight disk read.  Remote replica → the
+        serving VM reads from its disk and the bytes cross the network,
+        pipelined per segment.
+        """
+        if length is None:
+            length = block.size_bytes - offset
+        if length <= 0:
+            return
+        src_vm_id = self.pick_replica(block, reader_vm)
+        src_vm = self.cluster.vm(src_vm_id)
+        file = src_vm.fs.lookup(block.local_name(src_vm_id))
+        if file is None:
+            raise FileNotFoundError(
+                f"replica of {block.path}#{block.index} missing on {src_vm_id}"
+            )
+        if src_vm_id == reader_vm:
+            yield from src_vm.read_file(file, offset, length, pid)
+            return
+        reader_host = self.cluster.vm(reader_vm).host_name
+        pos = offset
+        end = offset + length
+        while pos < end:
+            seg = min(self.segment_bytes, end - pos)
+            yield from src_vm.read_file(file, pos, seg, f"dn@{src_vm_id}")
+            yield self.topology.transfer(
+                src_vm.host_name, reader_host, seg,
+                label=f"hdfs-read {block.path}#{block.index}",
+            )
+            pos += seg
+
+    # -- writes -------------------------------------------------------------------
+    def write_block(self, block: HdfsBlock, writer_vm: str, pid: Any):
+        """Generator: write a block through the replication pipeline.
+
+        Segment by segment, the primary replica absorbs a buffered local
+        write while the same bytes stream to each downstream replica and
+        are buffered there — local disk write and network transfer
+        overlap, like the real packet pipeline.  Buffered writes mean
+        the call returns when the page caches have the data (HDFS 0.19
+        does not fsync on close); writeback makes it durable later and
+        competes with the rest of the job, as on the testbed.
+        """
+        files = {}
+        for vm_id in block.replicas:
+            vm = self.cluster.vm(vm_id)
+            files[vm_id] = vm.fs.create_or_replace(
+                block.local_name(vm_id), block.size_bytes
+            )
+        writer_host = self.cluster.vm(writer_vm).host_name
+        pos = 0
+        while pos < block.size_bytes:
+            seg = min(self.segment_bytes, block.size_bytes - pos)
+            events = []
+            primary = block.replicas[0]
+            events.append(
+                self.env.process(
+                    self.cluster.vm(primary).write_file(
+                        files[primary], pos, seg, pid
+                    )
+                )
+            )
+            for vm_id in block.replicas[1:]:
+                events.append(
+                    self.env.process(
+                        self._forward_segment(
+                            writer_host, vm_id, files[vm_id], pos, seg
+                        )
+                    )
+                )
+            yield AllOf(self.env, events)
+            pos += seg
+
+    def _forward_segment(self, src_host: str, dst_vm_id: str, file, pos: int,
+                         seg: int):
+        dst_vm = self.cluster.vm(dst_vm_id)
+        yield self.topology.transfer(
+            src_host, dst_vm.host_name, seg, label=f"hdfs-pipe {file.name}"
+        )
+        yield from dst_vm.write_file(file, pos, seg, f"dn@{dst_vm_id}")

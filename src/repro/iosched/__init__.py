@@ -1,0 +1,44 @@
+"""Reimplementations of the Linux 2.6 block I/O schedulers.
+
+Four elevators — noop, deadline, anticipatory and CFQ — matching the
+set the paper evaluates in both the hypervisor and the guests, plus the
+registry used to name them and the hot-switch support in
+:mod:`repro.iosched.switching`.
+"""
+
+from .anticipatory import AnticipatoryParams, AnticipatoryScheduler, ProcessIoStats
+from .base import DEFAULT_MAX_SECTORS, DispatchDecision, IOScheduler, SortedRequestList
+from .cfq import CfqParams, CfqScheduler
+from .deadline import DeadlineParams, DeadlineScheduler
+from .noop import NoopScheduler
+from .registry import (
+    ABBREVIATIONS,
+    SCHEDULER_NAMES,
+    SCHEDULERS,
+    abbrev,
+    make_scheduler,
+    resolve_name,
+    scheduler_factory,
+)
+
+__all__ = [
+    "ABBREVIATIONS",
+    "AnticipatoryParams",
+    "AnticipatoryScheduler",
+    "CfqParams",
+    "CfqScheduler",
+    "DEFAULT_MAX_SECTORS",
+    "DeadlineParams",
+    "DeadlineScheduler",
+    "DispatchDecision",
+    "IOScheduler",
+    "NoopScheduler",
+    "ProcessIoStats",
+    "SCHEDULERS",
+    "SCHEDULER_NAMES",
+    "SortedRequestList",
+    "abbrev",
+    "make_scheduler",
+    "resolve_name",
+    "scheduler_factory",
+]

@@ -1,0 +1,234 @@
+"""Common machinery for block I/O schedulers (elevators).
+
+Every Linux 2.6 elevator performs the same two base operations the paper
+recounts — *merging* adjacent requests and *sorting* pending requests —
+and differs in its arbitration policy.  This module provides:
+
+* :class:`DispatchDecision` — what a scheduler tells the device to do;
+* :class:`SortedRequestList` — an LBA-sorted pending queue with the
+  one-way-elevator lookup the deadline/AS/CFQ schedulers need;
+* :class:`IOScheduler` — the abstract base handling front/back merge
+  hash lookups (the kernel's ``elv_rqhash``/rbtree equivalent) and the
+  drain protocol used when hot-switching elevators.
+"""
+
+from __future__ import annotations
+
+import abc
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..disk.request import BlockRequest
+
+__all__ = [
+    "DEFAULT_MAX_SECTORS",
+    "DispatchDecision",
+    "IOScheduler",
+    "SortedRequestList",
+]
+
+#: Kernel default ``max_sectors_kb=512`` → 1024 sectors per request.
+DEFAULT_MAX_SECTORS = 1024
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """Answer to "what should the disk do now?".
+
+    Exactly one interpretation applies:
+
+    * ``request`` set — dispatch it to the platter;
+    * ``wait_until`` set — hold the disk idle until that time unless a
+      new request arrives first (anticipation / CFQ slice idling);
+    * neither — the scheduler is empty; sleep until an arrival.
+    """
+
+    request: Optional[BlockRequest] = None
+    wait_until: Optional[float] = None
+
+    @property
+    def idle(self) -> bool:
+        return self.request is None and self.wait_until is None
+
+
+class SortedRequestList:
+    """Pending requests kept in ascending LBA order.
+
+    Supports the one-way elevator scan: ``first_at_or_after(lba)`` finds
+    the next request in the sweep direction, wrapping to the lowest LBA
+    when the sweep passes the end (exactly the deadline scheduler's
+    behaviour).
+    """
+
+    def __init__(self) -> None:
+        self._keys: List[tuple] = []  # (lba, rid) for stable ordering
+        self._reqs: Dict[tuple, BlockRequest] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[BlockRequest]:
+        return (self._reqs[k] for k in self._keys)
+
+    def __contains__(self, request: BlockRequest) -> bool:
+        return (request.lba, request.rid) in self._reqs
+
+    def add(self, request: BlockRequest) -> None:
+        key = (request.lba, request.rid)
+        if key in self._reqs:
+            raise ValueError(f"{request!r} already queued")
+        insort(self._keys, key)
+        self._reqs[key] = request
+
+    def remove(self, request: BlockRequest) -> None:
+        key = (request.lba, request.rid)
+        if key not in self._reqs:
+            raise KeyError(f"{request!r} not queued")
+        idx = bisect_left(self._keys, key)
+        del self._keys[idx]
+        del self._reqs[key]
+
+    def reposition(self, request: BlockRequest, old_lba: int) -> None:
+        """Re-sort ``request`` after a front merge changed its LBA."""
+        old_key = (old_lba, request.rid)
+        idx = bisect_left(self._keys, old_key)
+        if idx >= len(self._keys) or self._keys[idx] != old_key:
+            raise KeyError(f"{request!r} not queued at lba={old_lba}")
+        del self._keys[idx]
+        del self._reqs[old_key]
+        self.add(request)
+
+    def first(self) -> Optional[BlockRequest]:
+        return self._reqs[self._keys[0]] if self._keys else None
+
+    def first_at_or_after(self, lba: int, wrap: bool = True) -> Optional[BlockRequest]:
+        """Next request at or beyond ``lba`` (wrapping to the start)."""
+        if not self._keys:
+            return None
+        idx = bisect_left(self._keys, (lba, -1))
+        if idx < len(self._keys):
+            return self._reqs[self._keys[idx]]
+        return self._reqs[self._keys[0]] if wrap else None
+
+    def closest_to(self, lba: int) -> Optional[BlockRequest]:
+        """Request whose start LBA is nearest ``lba`` (either side)."""
+        if not self._keys:
+            return None
+        idx = bisect_right(self._keys, (lba, float("inf")))
+        candidates = []
+        if idx < len(self._keys):
+            candidates.append(self._keys[idx])
+        if idx > 0:
+            candidates.append(self._keys[idx - 1])
+        best = min(candidates, key=lambda k: abs(k[0] - lba))
+        return self._reqs[best]
+
+
+class IOScheduler(abc.ABC):
+    """Abstract elevator.
+
+    The base class owns the merge hash (front and back maps keyed by
+    boundary LBA) and statistics; subclasses implement queueing policy
+    via the ``_enqueue`` / ``_remove`` / ``_select`` hooks.
+    """
+
+    #: Registry name, e.g. ``"cfq"``; set by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, max_sectors: int = DEFAULT_MAX_SECTORS):
+        if max_sectors <= 0:
+            raise ValueError("max_sectors must be positive")
+        self.max_sectors = max_sectors
+        #: end_lba -> request, for back merges.
+        self._back_map: Dict[int, BlockRequest] = {}
+        #: lba -> request, for front merges.
+        self._front_map: Dict[int, BlockRequest] = {}
+        self.queued = 0
+        self.total_added = 0
+        self.total_merged = 0
+        self.total_dispatched = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{self.__class__.__name__} queued={self.queued}>"
+
+    # -- public API ----------------------------------------------------------
+    def add_request(self, request: BlockRequest, now: float) -> bool:
+        """Queue ``request``; returns True if it merged into another."""
+        self.total_added += 1
+        target = self._back_map.get(request.lba)
+        if target is not None and target.can_back_merge(request, self.max_sectors):
+            del self._back_map[target.end_lba]
+            target.back_merge(request)
+            self._back_map[target.end_lba] = target
+            self.total_merged += 1
+            self._on_merged(target, now)
+            return True
+
+        target = self._front_map.get(request.end_lba)
+        if target is not None and target.can_front_merge(request, self.max_sectors):
+            old_lba = target.lba
+            del self._front_map[target.lba]
+            target.front_merge(request)
+            self._front_map[target.lba] = target
+            self.total_merged += 1
+            self._repositioned(target, old_lba)
+            self._on_merged(target, now)
+            return True
+
+        self._back_map[request.end_lba] = request
+        self._front_map[request.lba] = request
+        self.queued += 1
+        self._enqueue(request, now)
+        return False
+
+    def next_request(self, now: float) -> DispatchDecision:
+        """Pick the next action for the device."""
+        decision = self._select(now)
+        if decision.request is not None:
+            self._forget(decision.request)
+            self.queued -= 1
+            self.total_dispatched += 1
+        return decision
+
+    def on_complete(self, request: BlockRequest, now: float) -> None:
+        """Hook invoked by the device when the platter finishes a request."""
+
+    def drain(self) -> List[BlockRequest]:
+        """Remove and return every queued request (for elevator switch)."""
+        drained = self._drain_all()
+        self._back_map.clear()
+        self._front_map.clear()
+        self.queued = 0
+        return drained
+
+    @property
+    def pending(self) -> int:
+        return self.queued
+
+    # -- subclass hooks --------------------------------------------------------
+    @abc.abstractmethod
+    def _enqueue(self, request: BlockRequest, now: float) -> None:
+        """Insert a brand-new (unmerged) request into policy structures."""
+
+    @abc.abstractmethod
+    def _select(self, now: float) -> DispatchDecision:
+        """Policy decision; must remove the returned request internally."""
+
+    @abc.abstractmethod
+    def _drain_all(self) -> List[BlockRequest]:
+        """Remove and return all queued requests from policy structures."""
+
+    def _repositioned(self, request: BlockRequest, old_lba: int) -> None:
+        """A front merge moved ``request``'s start; fix sorted structures."""
+
+    def _on_merged(self, request: BlockRequest, now: float) -> None:
+        """A request grew by merging (e.g. restart anticipation timers)."""
+
+    # -- helpers -----------------------------------------------------------------
+    def _forget(self, request: BlockRequest) -> None:
+        """Drop a request from the merge maps once dispatched."""
+        if self._back_map.get(request.end_lba) is request:
+            del self._back_map[request.end_lba]
+        if self._front_map.get(request.lba) is request:
+            del self._front_map[request.lba]

@@ -1,0 +1,132 @@
+"""The deadline elevator.
+
+Requests are kept in two LBA-sorted trees (reads/writes) plus two FIFOs
+carrying expiry deadlines (reads 500 ms, writes 5 s by default).  The
+scheduler dispatches batches in ascending-LBA elevator order, preferring
+reads, jumping to the FIFO head when a deadline has expired, and bounding
+write starvation.
+
+Deadline has no notion of process identity and never idles the disk —
+which is precisely why it suffers from *deceptive idleness* under
+multi-VM sync-read workloads (the elevator seeks away to another VM's
+region the instant the current VM's read completes), the behaviour the
+anticipatory scheduler was invented to fix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from ..disk.request import BlockRequest, IoOp
+from .base import DispatchDecision, IOScheduler, SortedRequestList
+
+__all__ = ["DeadlineScheduler", "DeadlineParams"]
+
+
+@dataclass(frozen=True)
+class DeadlineParams:
+    """Tunables mirroring ``/sys/block/*/queue/iosched`` for deadline."""
+
+    read_expire: float = 0.5
+    write_expire: float = 5.0
+    #: Requests dispatched per batch before re-checking FIFOs.
+    fifo_batch: int = 16
+    #: Batches of reads allowed while writes wait.
+    writes_starved: int = 2
+
+
+class DeadlineScheduler(IOScheduler):
+    """Two sorted queues + expiry FIFOs + bounded write starvation."""
+
+    name = "deadline"
+
+    def __init__(self, params: Optional[DeadlineParams] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.params = params or DeadlineParams()
+        self._sorted: Dict[IoOp, SortedRequestList] = {
+            IoOp.READ: SortedRequestList(),
+            IoOp.WRITE: SortedRequestList(),
+        }
+        self._fifo: Dict[IoOp, Deque[BlockRequest]] = {
+            IoOp.READ: deque(),
+            IoOp.WRITE: deque(),
+        }
+        #: End LBA of the last dispatched request (elevator position).
+        self._last_end = 0
+        self._batch_dir: Optional[IoOp] = None
+        self._batch_left = 0
+        self._starved = 0
+
+    # -- hooks -----------------------------------------------------------------
+    def _enqueue(self, request: BlockRequest, now: float) -> None:
+        expire = (
+            self.params.read_expire
+            if request.op is IoOp.READ
+            else self.params.write_expire
+        )
+        request.deadline = now + expire
+        self._sorted[request.op].add(request)
+        self._fifo[request.op].append(request)
+
+    def _repositioned(self, request: BlockRequest, old_lba: int) -> None:
+        self._sorted[request.op].reposition(request, old_lba)
+
+    def _drain_all(self) -> List[BlockRequest]:
+        drained: List[BlockRequest] = []
+        for op in (IoOp.READ, IoOp.WRITE):
+            drained.extend(self._fifo[op])
+            self._fifo[op].clear()
+            self._sorted[op] = SortedRequestList()
+        self._batch_dir = None
+        self._batch_left = 0
+        return drained
+
+    def _select(self, now: float) -> DispatchDecision:
+        reads = self._sorted[IoOp.READ]
+        writes = self._sorted[IoOp.WRITE]
+        if not reads and not writes:
+            return DispatchDecision()
+
+        # Continue the current batch in elevator order if possible.
+        if self._batch_left > 0 and self._batch_dir is not None:
+            queue = self._sorted[self._batch_dir]
+            nxt = queue.first_at_or_after(self._last_end, wrap=False)
+            if nxt is not None:
+                return self._dispatch(nxt)
+
+        # Start a new batch: prefer reads, bounded by write starvation.
+        if reads:
+            if writes and self._starved >= self.params.writes_starved:
+                direction = IoOp.WRITE
+            else:
+                direction = IoOp.READ
+        else:
+            direction = IoOp.WRITE
+
+        if direction is IoOp.READ and writes:
+            self._starved += 1
+        if direction is IoOp.WRITE:
+            self._starved = 0
+
+        queue = self._sorted[direction]
+        fifo = self._fifo[direction]
+        head = fifo[0]
+        if head.deadline is not None and head.deadline <= now:
+            # Expired: jump the elevator to the oldest request.
+            target = head
+        else:
+            target = queue.first_at_or_after(self._last_end, wrap=True)
+        assert target is not None
+        self._batch_dir = direction
+        self._batch_left = self.params.fifo_batch
+        return self._dispatch(target)
+
+    # -- internals ---------------------------------------------------------------
+    def _dispatch(self, request: BlockRequest) -> DispatchDecision:
+        self._sorted[request.op].remove(request)
+        self._fifo[request.op].remove(request)
+        self._last_end = request.end_lba
+        self._batch_left -= 1
+        return DispatchDecision(request=request)

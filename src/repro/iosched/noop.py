@@ -1,0 +1,40 @@
+"""The noop elevator: merging only, strict FIFO dispatch.
+
+Noop performs the base merging but no sorting and no arbitration.  With
+several VMs streaming into disjoint disk regions, FIFO interleaving
+forces a long seek on nearly every command — the mechanism behind the
+catastrophic Noop-in-VMM column of the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from ..disk.request import BlockRequest
+from .base import DispatchDecision, IOScheduler
+
+__all__ = ["NoopScheduler"]
+
+
+class NoopScheduler(IOScheduler):
+    """First-in, first-out with adjacent-request merging."""
+
+    name = "noop"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self._fifo: Deque[BlockRequest] = deque()
+
+    def _enqueue(self, request: BlockRequest, now: float) -> None:
+        self._fifo.append(request)
+
+    def _select(self, now: float) -> DispatchDecision:
+        if not self._fifo:
+            return DispatchDecision()
+        return DispatchDecision(request=self._fifo.popleft())
+
+    def _drain_all(self) -> List[BlockRequest]:
+        drained = list(self._fifo)
+        self._fifo.clear()
+        return drained

@@ -1,0 +1,26 @@
+"""A Hadoop-0.19-style MapReduce engine over the virtual cluster."""
+
+from .job import JobConfig, JobSpec, MB
+from .jobtracker import JobContext, MapReduceJob, TaskPool
+from .map_task import MapTask, map_task_proc
+from .phases import PHASE_NAMES, JobResult, PhaseTimes
+from .reduce_task import ReduceTask, reduce_task_proc
+from .shuffle import MapOutput, ShuffleService
+
+__all__ = [
+    "JobConfig",
+    "JobContext",
+    "JobResult",
+    "JobSpec",
+    "MB",
+    "MapOutput",
+    "MapReduceJob",
+    "MapTask",
+    "PHASE_NAMES",
+    "PhaseTimes",
+    "ReduceTask",
+    "ShuffleService",
+    "TaskPool",
+    "map_task_proc",
+    "reduce_task_proc",
+]

@@ -1,0 +1,109 @@
+"""The map task: read input, map, buffer, spill (+combine), merge."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from ..hdfs.blocks import HdfsBlock
+from ..virt.fs import GuestFile
+from .job import MB
+from .shuffle import MapOutput
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobtracker import JobContext
+
+__all__ = ["MapTask", "map_task_proc"]
+
+
+@dataclass(frozen=True)
+class MapTask:
+    """One map task: a block to process on a chosen VM."""
+
+    task_id: int
+    block: HdfsBlock
+    vm_id: str
+
+    @property
+    def is_data_local(self) -> bool:
+        return self.vm_id in self.block.replicas
+
+
+def map_task_proc(ctx: "JobContext", task: "MapTask"):
+    """Generator implementing one map task's life.
+
+    Per the paper's workload characterisation, this interleaves:
+    sequential sync reads of the input block; map CPU; buffered (async)
+    spill writes once the sort buffer passes its threshold, with
+    combiner CPU applied pre-spill; and a final merge pass when multiple
+    spills exist.
+    """
+    spec = ctx.config.spec
+    cfg = ctx.config
+    vm = ctx.cluster.vm(task.vm_id)
+    pid = f"map{task.task_id}@{task.vm_id}"
+    block = task.block
+
+    buffer_limit = cfg.sort_buffer_bytes * cfg.spill_threshold
+    buffered_raw = 0.0
+    spills: List[GuestFile] = []
+    spill_bytes: List[float] = []
+    out_written = 0.0
+
+    def spill():
+        nonlocal buffered_raw, out_written
+        raw = buffered_raw
+        buffered_raw = 0.0
+        if raw <= 0:
+            return
+        if spec.combiner and spec.combine_cpu_s_per_mb > 0:
+            yield ctx.compute(vm, spec.combine_cpu_s_per_mb * raw / MB, pid)
+        # Sort the buffer before writing (quick-sort pass).
+        yield ctx.compute(vm, spec.sort_cpu_s_per_mb * raw / MB, pid)
+        to_disk = raw * (spec.map_output_ratio / spec.emit_ratio) if spec.emit_ratio else 0.0
+        if to_disk <= 0:
+            return
+        f = vm.create_file(f"spill_{task.task_id}_{len(spills)}", int(to_disk))
+        yield from vm.write_file(f, 0, int(to_disk), pid)
+        spills.append(f)
+        spill_bytes.append(to_disk)
+        out_written += to_disk
+
+    # -- input + map + spill loop -----------------------------------------------
+    pos = 0
+    while pos < block.size_bytes:
+        chunk = min(cfg.io_chunk_bytes, block.size_bytes - pos)
+        yield from ctx.dn.read_block(block, task.vm_id, pid, pos, chunk)
+        if spec.map_cpu_s_per_mb > 0:
+            yield ctx.compute(vm, spec.map_cpu_s_per_mb * chunk / MB, pid)
+        buffered_raw += chunk * spec.emit_ratio
+        if buffered_raw >= buffer_limit:
+            yield from spill()
+        pos += chunk
+    yield from spill()
+
+    # -- merge spills into the final map output ------------------------------------
+    total_out = sum(spill_bytes)
+    if len(spills) > 1:
+        merged = vm.create_file(f"mapout_{task.task_id}", int(total_out))
+        for f, size in zip(spills, spill_bytes):
+            # Spill data is usually still in the page cache; a cold
+            # chunk costs a real read.
+            yield from vm.read_file(f, 0, int(size), pid)
+        yield ctx.compute(vm, spec.sort_cpu_s_per_mb * total_out / MB, pid)
+        yield from vm.write_file(merged, 0, int(total_out), pid)
+        out_file = merged
+    elif spills:
+        out_file = spills[0]
+    else:
+        out_file = None
+
+    output = MapOutput(
+        map_id=task.task_id,
+        vm_id=task.vm_id,
+        file=out_file,
+        total_bytes=total_out,
+    )
+    ctx.shuffle.register(output)
+    ctx.on_map_finished(task)
+    return output

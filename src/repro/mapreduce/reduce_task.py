@@ -1,0 +1,142 @@
+"""The reduce task: shuffle fetches, merge sort, reduce, HDFS output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from ..sim.events import AllOf
+from ..sim.resources import Resource
+from ..virt.fs import GuestFile
+from .job import MB
+from .shuffle import MapOutput
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobtracker import JobContext
+
+__all__ = ["ReduceTask", "reduce_task_proc"]
+
+
+@dataclass(frozen=True)
+class ReduceTask:
+    """One reducer: an index into the partition space, pinned to a VM."""
+
+    reducer_idx: int
+    vm_id: str
+
+
+def reduce_task_proc(ctx: "JobContext", task: "ReduceTask"):
+    """Generator implementing one reduce task.
+
+    Three stages, matching the paper's phase analysis:
+
+    1. **Shuffle** (overlaps the map phase): pull this reducer's
+       partition from every map output as it appears, up to
+       ``max_parallel_fetches`` at a time; buffer in memory and spill to
+       local disk (async writes) when the shuffle buffer fills.
+    2. **Merge**: read the spills back (sync reads) and merge-sort.
+    3. **Reduce + output**: reduce CPU interleaved with the replicated
+       HDFS write pipeline (local buffered write + network + remote
+       buffered write).
+    """
+    spec = ctx.config.spec
+    cfg = ctx.config
+    vm = ctx.cluster.vm(task.vm_id)
+    pid = f"red{task.reducer_idx}@{task.vm_id}"
+    n_reducers = ctx.shuffle.n_reducers
+    n_maps = ctx.shuffle.n_maps
+    queue = ctx.shuffle.queues[task.reducer_idx]
+
+    fetch_slots = Resource(ctx.env, capacity=cfg.max_parallel_fetches)
+    mem_buffered = 0.0
+    total_input = 0.0
+    spills: List[GuestFile] = []
+    spill_bytes: List[float] = []
+    spill_lock = Resource(ctx.env, capacity=1)
+
+    def fetch_one(desc: MapOutput):
+        nonlocal mem_buffered, total_input
+        with fetch_slots.request() as slot:
+            yield slot
+            nbytes = desc.partition_bytes(n_reducers)
+            if nbytes > 0 and desc.file is not None:
+                offset = desc.partition_offset(task.reducer_idx, n_reducers)
+                length = int(nbytes)
+                src_vm = ctx.cluster.vm(desc.vm_id)
+                if length > 0:
+                    end = min(offset + length, desc.file.size_bytes)
+                    length = max(0, end - offset)
+                if length > 0:
+                    # The serving TaskTracker reads the partition (hot in
+                    # its page cache if recent) ...
+                    yield from src_vm.read_file(
+                        desc.file, offset, length, f"tt@{desc.vm_id}"
+                    )
+                    # ... and it crosses the network unless VM-local.
+                    if desc.vm_id != task.vm_id:
+                        yield ctx.topology.transfer(
+                            src_vm.host_name,
+                            vm.host_name,
+                            length,
+                            label=f"shuffle m{desc.map_id}->r{task.reducer_idx}",
+                        )
+            mem_buffered += nbytes
+            total_input += nbytes
+            if mem_buffered >= cfg.shuffle_buffer_bytes:
+                with spill_lock.request() as lock:
+                    yield lock
+                    if mem_buffered >= cfg.shuffle_buffer_bytes:
+                        yield from spill_to_disk()
+        ctx.shuffle.note_fetch_complete(nbytes)
+
+    def spill_to_disk():
+        nonlocal mem_buffered
+        amount = mem_buffered
+        mem_buffered = 0.0
+        if amount < 1:
+            return
+        yield ctx.compute(vm, spec.sort_cpu_s_per_mb * amount / MB, pid)
+        f = vm.create_file(
+            f"rspill_{task.reducer_idx}_{len(spills)}", int(amount)
+        )
+        yield from vm.write_file(f, 0, int(amount), pid)
+        spills.append(f)
+        spill_bytes.append(amount)
+
+    # -- stage 1: shuffle ------------------------------------------------------------
+    fetchers = []
+    for _ in range(n_maps):
+        desc = yield queue.get()
+        fetchers.append(ctx.env.process(fetch_one(desc)))
+    if fetchers:
+        yield AllOf(ctx.env, fetchers)
+
+    # -- stage 2: merge --------------------------------------------------------------
+    for f, size in zip(spills, spill_bytes):
+        yield from vm.read_file(f, 0, int(size), pid)
+    if total_input > 0:
+        yield ctx.compute(vm, spec.sort_cpu_s_per_mb * total_input / MB, pid)
+
+    # -- stage 3: reduce + replicated output --------------------------------------------
+    out_bytes = int(total_input * spec.reduce_output_ratio)
+    out_file = ctx.output_file
+    written = 0
+    while written < out_bytes:
+        block_size = min(cfg.block_size, out_bytes - written)
+        block = ctx.namenode.add_block(out_file, block_size, task.vm_id)
+        if spec.reduce_cpu_s_per_mb > 0:
+            # Reduce function produces this block's worth of output.
+            consumed = (
+                block_size / spec.reduce_output_ratio
+                if spec.reduce_output_ratio > 0
+                else 0.0
+            )
+            yield ctx.compute(vm, spec.reduce_cpu_s_per_mb * consumed / MB, pid)
+        yield from ctx.dn.write_block(block, task.vm_id, pid)
+        written += block_size
+    if out_bytes == 0 and total_input > 0 and spec.reduce_cpu_s_per_mb > 0:
+        # Output-light jobs still run the reduce function over all input.
+        yield ctx.compute(vm, spec.reduce_cpu_s_per_mb * total_input / MB, pid)
+
+    ctx.on_reduce_finished(task, total_input, out_bytes)
+    return total_input

@@ -1,0 +1,84 @@
+"""The shuffle service: map-output registry and per-reducer feeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from ..sim.events import Event
+from ..sim.resources import Store
+from ..virt.fs import GuestFile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+__all__ = ["MapOutput", "ShuffleService"]
+
+
+@dataclass(frozen=True)
+class MapOutput:
+    """Descriptor of one map task's merged output file."""
+
+    map_id: int
+    vm_id: str
+    file: Optional[GuestFile]
+    total_bytes: float
+
+    def partition_bytes(self, n_reducers: int) -> float:
+        """Bytes destined for each reducer (uniform partitioning)."""
+        if n_reducers <= 0:
+            raise ValueError("n_reducers must be positive")
+        return self.total_bytes / n_reducers
+
+    def partition_offset(self, reducer: int, n_reducers: int) -> int:
+        """Byte offset of a reducer's partition within the output file."""
+        if not 0 <= reducer < n_reducers:
+            raise ValueError("reducer index out of range")
+        return int(self.total_bytes * reducer / n_reducers)
+
+
+class ShuffleService:
+    """Fan-out of completed map outputs to every reducer.
+
+    Each reducer owns a :class:`Store` fed with every registered
+    :class:`MapOutput`; reducers consume descriptors as maps finish, so
+    the shuffle overlaps the map phase exactly as in Hadoop.  The
+    service also tracks when the *entire* shuffle is done (every reducer
+    has fetched every partition) — the paper's Ph2/Ph3 boundary.
+    """
+
+    def __init__(self, env: "Environment", n_reducers: int, n_maps: int):
+        if n_reducers <= 0 or n_maps <= 0:
+            raise ValueError("reducers and maps must be positive")
+        self.env = env
+        self.n_reducers = n_reducers
+        self.n_maps = n_maps
+        self.queues: List[Store] = [Store(env) for _ in range(n_reducers)]
+        self.registered = 0
+        self._fetches_done = 0
+        self.shuffle_done: Event = env.event()
+        self.total_map_output_bytes = 0.0
+        self.shuffled_bytes = 0.0
+
+    def register(self, output: MapOutput) -> None:
+        """Publish a finished map output to all reducers."""
+        if self.registered >= self.n_maps:
+            raise RuntimeError("more map outputs than maps")
+        self.registered += 1
+        self.total_map_output_bytes += output.total_bytes
+        for queue in self.queues:
+            queue.put(output)
+
+    def note_fetch_complete(self, nbytes: float) -> None:
+        """A reducer finished pulling one partition."""
+        self._fetches_done += 1
+        self.shuffled_bytes += nbytes
+        if (
+            self._fetches_done >= self.n_maps * self.n_reducers
+            and not self.shuffle_done.triggered
+        ):
+            self.shuffle_done.succeed(self.env.now)
+
+    @property
+    def fetches_remaining(self) -> int:
+        return self.n_maps * self.n_reducers - self._fetches_done

@@ -1,0 +1,13 @@
+"""Measurement helpers: CDFs, timelines, table rendering."""
+
+from .cdf import Cdf
+from .summary import format_matrix, format_series, format_table
+from .timeline import ProgressTimeline
+
+__all__ = [
+    "Cdf",
+    "ProgressTimeline",
+    "format_matrix",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,70 @@
+"""Empirical CDFs (paper Fig. 3 reports I/O-throughput CDFs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Cdf"]
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical cumulative distribution over samples."""
+
+    samples: Tuple[float, ...]
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "Cdf":
+        return cls(tuple(sorted(float(s) for s in samples)))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def empty(self) -> bool:
+        return not self.samples
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` in [0, 100]."""
+        if self.empty:
+            raise ValueError("empty CDF")
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def mean(self) -> float:
+        if self.empty:
+            raise ValueError("empty CDF")
+        return float(np.mean(self.samples))
+
+    @property
+    def maximum(self) -> float:
+        if self.empty:
+            raise ValueError("empty CDF")
+        return self.samples[-1]
+
+    @property
+    def minimum(self) -> float:
+        if self.empty:
+            raise ValueError("empty CDF")
+        return self.samples[0]
+
+    def prob_at_most(self, x: float) -> float:
+        """P(X <= x)."""
+        if self.empty:
+            raise ValueError("empty CDF")
+        return float(np.searchsorted(self.samples, x, side="right")) / len(self)
+
+    def points(self, n: int = 50) -> List[Tuple[float, float]]:
+        """(value, cumulative probability) pairs for plotting/printing."""
+        if self.empty:
+            return []
+        n = min(n, len(self.samples))
+        idx = np.linspace(0, len(self.samples) - 1, n).astype(int)
+        return [
+            (self.samples[i], (i + 1) / len(self.samples)) for i in idx
+        ]

@@ -1,0 +1,70 @@
+"""Plain-text tables and series for the experiment harness output.
+
+Every benchmark prints the rows/series of its paper table or figure in
+a uniform ASCII format so ``bench_output.txt`` doubles as the
+reproduction record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_matrix"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    floatfmt: str = ".1f",
+) -> str:
+    """Render a fixed-width table."""
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return format(cell, floatfmt)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[Sequence[Any]], floatfmt: str = ".2f"
+) -> str:
+    """Render an (x, y) series one point per line."""
+    lines = [f"series: {name}"]
+    for point in points:
+        lines.append(
+            "  " + "  ".join(
+                format(v, floatfmt) if isinstance(v, float) else str(v)
+                for v in point
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Dict,
+    title: Optional[str] = None,
+    floatfmt: str = ".1f",
+) -> str:
+    """Render a labelled 2-D matrix keyed by (row, col)."""
+    headers = [""] + list(col_labels)
+    rows: List[List[Any]] = []
+    for r in row_labels:
+        rows.append([r] + [values.get((r, c), "") for c in col_labels])
+    return format_table(headers, rows, title=title, floatfmt=floatfmt)

@@ -1,0 +1,53 @@
+"""Timelines: progress curves and per-point comparisons (paper Fig. 4)."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["ProgressTimeline"]
+
+
+@dataclass(frozen=True)
+class ProgressTimeline:
+    """A monotone (time, fraction-complete) curve."""
+
+    points: Tuple[Tuple[float, float], ...]
+
+    @classmethod
+    def of(cls, points: Sequence[Tuple[float, float]]) -> "ProgressTimeline":
+        pts = sorted((float(t), float(f)) for t, f in points)
+        for (_, f1), (_, f2) in zip(pts, pts[1:]):
+            if f2 < f1:
+                raise ValueError("progress must be monotone")
+        return cls(tuple(pts))
+
+    @property
+    def empty(self) -> bool:
+        return not self.points
+
+    def time_at_fraction(self, fraction: float) -> float:
+        """Earliest time at which progress reached ``fraction``."""
+        if self.empty:
+            raise ValueError("empty timeline")
+        if not 0 <= fraction <= 1:
+            raise ValueError("fraction must be in [0, 1]")
+        for t, f in self.points:
+            if f >= fraction:
+                return t
+        raise ValueError(f"progress never reached {fraction}")
+
+    def fraction_at_time(self, time: float) -> float:
+        """Progress at ``time`` (step interpolation)."""
+        if self.empty:
+            raise ValueError("empty timeline")
+        times = [t for t, _ in self.points]
+        idx = bisect_right(times, time)
+        if idx == 0:
+            return 0.0
+        return self.points[idx - 1][1]
+
+    def checkpoints(self, fractions: Sequence[float]) -> List[Tuple[float, float]]:
+        """(fraction, time) pairs for a set of progress checkpoints."""
+        return [(f, self.time_at_fraction(f)) for f in fractions]

@@ -1,0 +1,6 @@
+"""Flow-level network substrate (max-min fair sharing)."""
+
+from .flow import Flow, FlowNetwork, Link
+from .topology import GBIT, HostNic, Topology
+
+__all__ = ["Flow", "FlowNetwork", "GBIT", "HostNic", "Link", "Topology"]

@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel underpinning the repro stack.
+
+Public surface::
+
+    env = Environment()
+    def proc(env):
+        yield env.timeout(1.0)
+        return "done"
+    p = env.process(proc(env))
+    env.run()
+"""
+
+from .core import EmptySchedule, Environment, StopSimulation
+from .cpu import CPUJob, ProcessorSharingCPU
+from .events import AllOf, AnyOf, Condition, Event, Interrupt, StopProcess, Timeout
+from .process import Process
+from .resources import Release, Request, Resource, Store, StoreGet, StorePut
+from .rng import RngStreams
+from .tracing import IntervalSampler, TraceBus, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CPUJob",
+    "Condition",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "IntervalSampler",
+    "Process",
+    "ProcessorSharingCPU",
+    "Release",
+    "Request",
+    "Resource",
+    "RngStreams",
+    "StopProcess",
+    "StopSimulation",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "Timeout",
+    "TraceBus",
+    "TraceRecord",
+]

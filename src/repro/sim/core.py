@@ -1,0 +1,130 @@
+"""The simulation environment: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import NORMAL, Event, Timeout
+from .process import Process
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at an event."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in *seconds*.  Events scheduled for the same time
+    are ordered by priority then insertion order, which makes runs fully
+    deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Environment t={self._now:.6f} pending={len(self._queue)}>"
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Put ``event`` on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event on the heap."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            exc = event._value
+            # An unhandled failure crashes the simulation: nothing waited
+            # on this event, so silently dropping it would hide bugs.
+            raise exc
+
+    # -- run loop ------------------------------------------------------------
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the heap is empty), a number
+        (run until that simulated time) or an :class:`Event` (run until
+        it is processed; its value is returned).
+        """
+        at_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                at_event = until
+                if at_event.callbacks is None:
+                    # Already processed.
+                    return at_event.value
+                at_event.callbacks.append(self._stop_at)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until={at} is in the past (now={self._now})")
+                stopper = Event(self)
+                stopper._ok = True
+                stopper._value = None
+                stopper.callbacks.append(self._stop_at)
+                self.schedule(stopper, NORMAL, at - self._now)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            ended_event = stop.args[0]
+            if at_event is not None:
+                if not at_event.ok:
+                    raise at_event.value
+                return at_event.value
+            return None
+        except EmptySchedule:
+            if at_event is not None and not at_event.triggered:
+                raise RuntimeError(
+                    f"simulation ran out of events before {at_event!r} triggered"
+                ) from None
+            return None
+
+    @staticmethod
+    def _stop_at(event: Event) -> None:
+        raise StopSimulation(event)

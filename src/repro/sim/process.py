@@ -1,0 +1,131 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import PENDING, URGENT, Event, Interrupt, StopProcess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A process wraps a generator that yields events to wait on.
+
+    The process itself is an event that triggers when the generator
+    returns (its value is the ``return`` value) or raises.  Processes
+    can be interrupted with :meth:`interrupt`, which raises
+    :class:`~repro.sim.events.Interrupt` inside the generator.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None when the
+        #: process is being resumed or has finished).
+        self._target: Optional[Event] = None
+
+        # Kick the process off with an immediately-processed event.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init, URGENT)
+
+    def _describe(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"{name} ({super()._describe()})"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process as soon as possible."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is None and self._generator.gi_frame is not None and self._generator.gi_running:
+            raise RuntimeError("a process cannot interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defuse()
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, URGENT)
+
+    @staticmethod
+    def exit(value: Any = None) -> None:
+        """Stop the current process, optionally with a return value."""
+        raise StopProcess(value)
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        # A stale interrupt may arrive after the process has finished.
+        if not self.is_alive:
+            return
+
+        # Detach from the event we were waiting on (if resuming due to an
+        # interrupt while a different event is still outstanding).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    # The exception was consumed by handing it to the
+                    # process; mark it so the environment doesn't raise.
+                    event.defuse()
+                    next_target = self._generator.throw(event._value)
+            except StopProcess as stop:
+                self.succeed(stop.value)
+                return
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(next_target, Event):
+                exc = RuntimeError(
+                    f"process {self!r} yielded a non-event: {next_target!r}"
+                )
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as raised:
+                    self.fail(raised)
+                    return
+                continue
+
+            if next_target.callbacks is not None:
+                # Not yet processed: wait for it.
+                next_target.callbacks.append(self._resume)
+                self._target = next_target
+                return
+
+            # Already processed: loop immediately with its outcome.
+            event = next_target

@@ -1,0 +1,175 @@
+"""Shared-resource primitives: counted resources and object stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = ["Request", "Release", "Resource", "Store", "StorePut", "StoreGet"]
+
+
+class Request(Event):
+    """Pending acquisition of one slot of a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger_requests()
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel() if not self.triggered else self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        try:
+            self.resource._queue.remove(self)
+        except ValueError:
+            pass
+
+
+class Release(Event):
+    """Immediately-successful release event (for symmetry with SimPy)."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A resource with ``capacity`` slots and a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Ask for one slot; the returned event triggers when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Give back a previously granted slot."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise RuntimeError("releasing a request that does not hold the resource")
+        self._trigger_requests()
+        release = Release(self.env)
+        release.succeed()
+        return release
+
+    def _trigger_requests(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.popleft()
+            self._users.append(req)
+            req.succeed()
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_queue.append(self)
+        store._dispatch()
+
+
+class Store:
+    """An unbounded-or-bounded FIFO store of arbitrary items.
+
+    ``get`` accepts an optional filter predicate (a *FilterStore* in
+    SimPy terms) used by e.g. the shuffle service to pull matching map
+    outputs.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; blocks (as an event) while the store is full."""
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove and return an item (optionally the first matching one)."""
+        return StoreGet(self, filter)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+
+            # Admit puts while there is room.
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+
+            # Satisfy gets with matching items.
+            pending: Deque[StoreGet] = deque()
+            while self._get_queue:
+                get = self._get_queue.popleft()
+                idx = self._find(get.filter)
+                if idx is None:
+                    pending.append(get)
+                else:
+                    get.succeed(self.items.pop(idx))
+                    progressed = True
+            self._get_queue = pending
+
+    def _find(self, filter: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if filter is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if filter(item):
+                return i
+        return None

@@ -1,0 +1,94 @@
+"""A lightweight publish/subscribe trace bus and time-series samplers.
+
+Experiments subscribe to topics ("disk.complete", "job.maps_done", ...)
+to build CDFs and timelines without the simulated components knowing
+about the instrumentation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, DefaultDict, Dict, List, Tuple
+
+__all__ = ["TraceBus", "TraceRecord", "IntervalSampler"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One published trace event."""
+
+    time: float
+    topic: str
+    payload: Dict[str, Any]
+
+
+class TraceBus:
+    """Topic-based pub/sub with optional in-memory recording."""
+
+    def __init__(self) -> None:
+        self._subscribers: DefaultDict[str, List[Callable[[TraceRecord], None]]] = defaultdict(list)
+        self._recorded_topics: set = set()
+        self.records: List[TraceRecord] = []
+
+    def subscribe(self, topic: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for every record published on ``topic``."""
+        self._subscribers[topic].append(callback)
+
+    def record_topic(self, topic: str) -> None:
+        """Keep all records for ``topic`` in :attr:`records`."""
+        self._recorded_topics.add(topic)
+
+    def publish(self, time: float, topic: str, **payload: Any) -> None:
+        """Publish a record; cheap no-op when nobody listens."""
+        subs = self._subscribers.get(topic)
+        keep = topic in self._recorded_topics
+        if not subs and not keep:
+            return
+        record = TraceRecord(time, topic, payload)
+        if keep:
+            self.records.append(record)
+        if subs:
+            for callback in subs:
+                callback(record)
+
+    def recorded(self, topic: str) -> List[TraceRecord]:
+        """All recorded records for ``topic`` in publication order."""
+        return [r for r in self.records if r.topic == topic]
+
+
+@dataclass
+class IntervalSampler:
+    """Accumulates a quantity and emits per-interval rates.
+
+    Used for I/O throughput CDFs: add bytes as transfers complete, then
+    :meth:`series` yields MB/s samples over fixed windows, matching how
+    ``iostat`` would have sampled the paper's testbed.
+    """
+
+    interval: float = 1.0
+    _events: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, time: float, amount: float) -> None:
+        self._events.append((time, amount))
+
+    def series(self, start: float = 0.0, end: float | None = None) -> List[float]:
+        """Per-interval sums of ``amount`` between ``start`` and ``end``."""
+        if not self._events:
+            return []
+        if end is None:
+            end = max(t for t, _ in self._events)
+        if end <= start:
+            return []
+        n_bins = int((end - start) / self.interval) + 1
+        bins = [0.0] * n_bins
+        for t, amount in self._events:
+            if t < start or t > end:
+                continue
+            idx = min(int((t - start) / self.interval), n_bins - 1)
+            bins[idx] += amount
+        return bins
+
+    def rates(self, start: float = 0.0, end: float | None = None) -> List[float]:
+        """Per-interval rates (``amount`` per second)."""
+        return [b / self.interval for b in self.series(start, end)]

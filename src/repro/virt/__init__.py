@@ -1,0 +1,27 @@
+"""Xen-like virtualization substrate: DomU devices over a Dom0 elevator."""
+
+from .cluster import ClusterConfig, VirtualCluster
+from .fs import Extent, GuestFile, GuestFilesystem
+from .hypervisor import PhysicalHost
+from .pagecache import PageCache, PageCacheParams
+from .pair import DEFAULT_PAIR, SchedulerPair, all_pairs, pairs_excluding_noop_vmm
+from .vdisk import DEFAULT_RING_SLOTS, VirtualBlockDevice
+from .vm import VM
+
+__all__ = [
+    "ClusterConfig",
+    "DEFAULT_PAIR",
+    "DEFAULT_RING_SLOTS",
+    "Extent",
+    "GuestFile",
+    "GuestFilesystem",
+    "PageCache",
+    "PageCacheParams",
+    "PhysicalHost",
+    "SchedulerPair",
+    "VM",
+    "VirtualBlockDevice",
+    "VirtualCluster",
+    "all_pairs",
+    "pairs_excluding_noop_vmm",
+]

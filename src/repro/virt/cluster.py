@@ -1,0 +1,130 @@
+"""Cluster builder: N physical hosts × M VMs with a shared configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, List, Optional
+
+from ..disk.geometry import DiskGeometry
+from ..disk.model import DiskParameters
+from ..iosched.registry import scheduler_factory
+from ..sim.events import AllOf, Event
+from ..sim.rng import RngStreams
+from .hypervisor import PhysicalHost
+from .pagecache import PageCacheParams
+from .pair import DEFAULT_PAIR, SchedulerPair
+from .vm import VM
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+    from ..sim.tracing import TraceBus
+
+__all__ = ["ClusterConfig", "VirtualCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to stamp out a virtual cluster.
+
+    Defaults mirror the paper's testbed: 4 hosts, 4 VMs per host,
+    1 TB SATA disk per host, 1 GB / 1 VCPU guests, (CFQ, CFQ) pairs.
+    """
+
+    hosts: int = 4
+    vms_per_host: int = 4
+    initial_pair: SchedulerPair = DEFAULT_PAIR
+    geometry: DiskGeometry = field(default_factory=DiskGeometry)
+    disk_params: DiskParameters = field(default_factory=DiskParameters)
+    pagecache: PageCacheParams = field(default_factory=PageCacheParams)
+    #: Seconds of work per second: 1 VCPU pinned to one core.
+    vm_cpu_capacity: float = 1.0
+    fs_fragmentation: float = 0.02
+    ring_slots: int = 32
+    switch_control_latency: float = 0.050
+    seed: int = 0
+
+    def with_(self, **changes) -> "ClusterConfig":
+        """A modified copy (sweep helper)."""
+        return replace(self, **changes)
+
+
+class VirtualCluster:
+    """The simulated testbed: hosts, VMs, and the pair control plane."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: Optional[ClusterConfig] = None,
+        trace: Optional["TraceBus"] = None,
+    ):
+        self.env = env
+        self.config = config or ClusterConfig()
+        self.trace = trace
+        self.rng = RngStreams(self.config.seed)
+        self.hosts: List[PhysicalHost] = []
+        self._current_pair = self.config.initial_pair
+        self._build()
+
+    def _build(self) -> None:
+        cfg = self.config
+        for h in range(cfg.hosts):
+            host = PhysicalHost(
+                self.env,
+                name=f"h{h}",
+                vmm_scheduler_factory=scheduler_factory(cfg.initial_pair.vmm),
+                max_vms=cfg.vms_per_host,
+                geometry=cfg.geometry,
+                disk_params=cfg.disk_params,
+                rng=self.rng.stream(f"h{h}.disk"),
+                trace=self.trace,
+                switch_control_latency=cfg.switch_control_latency,
+            )
+            for v in range(cfg.vms_per_host):
+                host.add_vm(
+                    vm_id=f"h{h}v{v}",
+                    guest_scheduler_factory=scheduler_factory(cfg.initial_pair.vm),
+                    cpu_capacity=cfg.vm_cpu_capacity,
+                    pagecache_params=cfg.pagecache,
+                    fs_fragmentation=cfg.fs_fragmentation,
+                    rng=self.rng.stream(f"h{h}v{v}.fs"),
+                    ring_slots=cfg.ring_slots,
+                )
+            self.hosts.append(host)
+
+    # -- views ------------------------------------------------------------------
+    @property
+    def vms(self) -> List[VM]:
+        """All VMs across all hosts, in (host, slot) order."""
+        return [vm for host in self.hosts for vm in host.vms]
+
+    def vm(self, vm_id: str) -> VM:
+        for candidate in self.vms:
+            if candidate.vm_id == vm_id:
+                return candidate
+        raise KeyError(vm_id)
+
+    def host_of(self, vm: VM) -> PhysicalHost:
+        for host in self.hosts:
+            if vm in host.vms:
+                return host
+        raise KeyError(vm.vm_id)
+
+    @property
+    def current_pair(self) -> SchedulerPair:
+        return self._current_pair
+
+    # -- control plane --------------------------------------------------------------
+    def set_pair(self, pair: SchedulerPair) -> Event:
+        """Switch every host (Dom0 + guests) to ``pair``."""
+        self._current_pair = pair
+        events = [host.set_pair(pair) for host in self.hosts]
+        done = AllOf(self.env, events)
+        if self.trace is not None:
+            self.trace.publish(
+                self.env.now, "cluster.set_pair", pair=str(pair)
+            )
+        return done
+
+    def set_pair_process(self, pair: SchedulerPair):
+        """Generator form of :meth:`set_pair` for use inside processes."""
+        yield self.set_pair(pair)

@@ -1,0 +1,168 @@
+"""A minimal extent-based guest filesystem.
+
+Maps files to runs of guest LBAs.  The allocator hands out mostly
+contiguous extents with configurable fragmentation (a fragmented spill
+area makes merge reads seekier, as on an aged ext3 volume).  This is
+enough to give every byte the Hadoop tasks touch a stable disk address,
+so reads of previously written data hit the same sectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..disk.request import SECTOR_SIZE
+
+__all__ = ["Extent", "GuestFile", "GuestFilesystem"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of guest sectors."""
+
+    lba: int
+    nsectors: int
+
+    @property
+    def end_lba(self) -> int:
+        return self.lba + self.nsectors
+
+    @property
+    def nbytes(self) -> int:
+        return self.nsectors * SECTOR_SIZE
+
+
+@dataclass
+class GuestFile:
+    """A file as a list of extents plus a logical size."""
+
+    name: str
+    extents: List[Extent] = field(default_factory=list)
+    size_bytes: int = 0
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(e.nbytes for e in self.extents)
+
+    def ranges(self, offset: int, length: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(lba, nsectors)`` runs covering ``[offset, offset+length)``.
+
+        Offsets are in bytes and rounded outward to sector boundaries.
+        """
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        if length == 0:
+            return
+        start_sector = offset // SECTOR_SIZE
+        end_sector = -(-(offset + length) // SECTOR_SIZE)  # ceil div
+        want = end_sector - start_sector
+        skipped = 0
+        for extent in self.extents:
+            if want <= 0:
+                return
+            if skipped + extent.nsectors <= start_sector:
+                skipped += extent.nsectors
+                continue
+            inner = max(0, start_sector - skipped)
+            take = min(extent.nsectors - inner, want)
+            yield (extent.lba + inner, take)
+            want -= take
+            start_sector += take
+            skipped += extent.nsectors
+        if want > 0:
+            raise ValueError(
+                f"read past end of {self.name!r}: missing {want} sectors"
+            )
+
+
+class GuestFilesystem:
+    """Sequential extent allocator over a guest LBA range.
+
+    ``fragmentation`` in [0, 1) makes the allocator split large
+    allocations and scatter pieces within a window, modelling an aged
+    filesystem; 0 gives perfectly contiguous files.
+    """
+
+    def __init__(
+        self,
+        total_sectors: int,
+        fragmentation: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        reserved_sectors: int = 0,
+    ):
+        if total_sectors <= 0:
+            raise ValueError("total_sectors must be positive")
+        if not 0 <= fragmentation < 1:
+            raise ValueError("fragmentation must be in [0, 1)")
+        self.total_sectors = total_sectors
+        self.fragmentation = fragmentation
+        self.rng = rng or np.random.default_rng(0)
+        self._next_free = reserved_sectors
+        self._files: Dict[str, GuestFile] = {}
+
+    @property
+    def used_sectors(self) -> int:
+        return self._next_free
+
+    @property
+    def free_sectors(self) -> int:
+        return self.total_sectors - self._next_free
+
+    def lookup(self, name: str) -> Optional[GuestFile]:
+        return self._files.get(name)
+
+    def create(self, name: str, size_bytes: int) -> GuestFile:
+        """Allocate a new file of ``size_bytes`` (sector-rounded)."""
+        if name in self._files:
+            raise FileExistsError(name)
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        nsectors = -(-size_bytes // SECTOR_SIZE)
+        file = GuestFile(name=name, size_bytes=size_bytes)
+        remaining = nsectors
+        while remaining > 0:
+            if self.fragmentation > 0 and remaining > 2048:
+                # Split with probability = fragmentation; pieces ≥ 1 MB.
+                if self.rng.random() < self.fragmentation:
+                    piece = int(self.rng.integers(2048, remaining + 1))
+                else:
+                    piece = remaining
+            else:
+                piece = remaining
+            extent = self._allocate(piece)
+            file.extents.append(extent)
+            remaining -= piece
+        self._files[name] = file
+        return file
+
+    def create_or_replace(self, name: str, size_bytes: int) -> GuestFile:
+        """Like :meth:`create`, but silently drops an old version.
+
+        Old extents are leaked (no free list) — acceptable for job-length
+        simulations on a 1 TB volume.
+        """
+        self._files.pop(name, None)
+        return self.create(name, size_bytes)
+
+    def delete(self, name: str) -> None:
+        if name not in self._files:
+            raise FileNotFoundError(name)
+        del self._files[name]
+
+    def _allocate(self, nsectors: int) -> Extent:
+        if self._next_free + nsectors > self.total_sectors:
+            raise OSError(
+                f"guest filesystem full: need {nsectors}, "
+                f"free {self.free_sectors}"
+            )
+        extent = Extent(self._next_free, nsectors)
+        self._next_free += nsectors
+        if self.fragmentation > 0:
+            # Leave a small gap so consecutive files are not perfectly
+            # adjacent (metadata, other writers).
+            gap = int(self.rng.integers(0, 256))
+            self._next_free = min(self.total_sectors, self._next_free + gap)
+        return extent

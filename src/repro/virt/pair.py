@@ -1,0 +1,73 @@
+"""Scheduler pairs: (VMM-level elevator, VM-level elevator).
+
+The paper's central configuration object.  A pair is written
+``(Anticipatory, Deadline)`` meaning Dom0 runs anticipatory and every
+DomU runs deadline; the 4×4 grid gives 16 pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..iosched.registry import SCHEDULER_NAMES, abbrev, resolve_name
+
+__all__ = ["SchedulerPair", "all_pairs", "DEFAULT_PAIR"]
+
+
+@dataclass(frozen=True, order=True)
+class SchedulerPair:
+    """An assignment of elevators to the two levels of the I/O stack."""
+
+    #: Canonical scheduler name in the hypervisor (Dom0).
+    vmm: str
+    #: Canonical scheduler name inside every guest (DomU).
+    vm: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vmm", resolve_name(self.vmm))
+        object.__setattr__(self, "vm", resolve_name(self.vm))
+
+    def __str__(self) -> str:
+        return f"({abbrev(self.vmm)}, {abbrev(self.vm)})"
+
+    @property
+    def label(self) -> str:
+        """Compact two-letter label like the paper's Fig. 5 axes (``ad``)."""
+        return self.vmm[0] + self.vm[0]
+
+    @classmethod
+    def parse(cls, text: str) -> "SchedulerPair":
+        """Parse ``"(AS, DL)"``, ``"as,dl"``, ``"ad"``-style labels."""
+        s = text.strip().strip("()")
+        if "," in s:
+            vmm, vm = (part.strip() for part in s.split(",", 1))
+            return cls(vmm, vm)
+        if len(s) == 2:
+            by_initial = {name[0]: name for name in SCHEDULER_NAMES}
+            try:
+                return cls(by_initial[s[0].lower()], by_initial[s[1].lower()])
+            except KeyError:
+                raise ValueError(f"cannot parse scheduler pair {text!r}") from None
+        raise ValueError(f"cannot parse scheduler pair {text!r}")
+
+    def as_tuple(self) -> Tuple[str, str]:
+        return (self.vmm, self.vm)
+
+
+#: The stock configuration the paper calls "default": (CFQ, CFQ).
+DEFAULT_PAIR = SchedulerPair("cfq", "cfq")
+
+
+def all_pairs() -> List[SchedulerPair]:
+    """All 16 pairs in the paper's canonical (Table I) order."""
+    return [
+        SchedulerPair(vmm, vm)
+        for vm in SCHEDULER_NAMES
+        for vmm in SCHEDULER_NAMES
+    ]
+
+
+def pairs_excluding_noop_vmm() -> List[SchedulerPair]:
+    """The 12 pairs with a real elevator in Dom0 (paper's Fig. 2 inset)."""
+    return [p for p in all_pairs() if p.vmm != "noop"]

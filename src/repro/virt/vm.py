@@ -1,0 +1,101 @@
+"""A guest virtual machine: vCPU, virtual disk, filesystem, page cache."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+import numpy as np
+
+from ..disk.device import DiskDevice
+from ..iosched.base import IOScheduler
+from ..sim.cpu import CPUJob, ProcessorSharingCPU
+from ..sim.events import Event
+from .fs import GuestFile, GuestFilesystem
+from .pagecache import PageCache, PageCacheParams
+from .vdisk import DEFAULT_RING_SLOTS, VirtualBlockDevice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+    from ..sim.tracing import TraceBus
+
+__all__ = ["VM"]
+
+
+class VM:
+    """One DomU with a single vCPU and one virtual disk.
+
+    Matches the paper's guest sizing: 1 VCPU pinned to a core, 1 GB of
+    memory (reflected in the page-cache capacity), one xvda image on the
+    host's SATA disk.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        vm_id: str,
+        backend_disk: DiskDevice,
+        image_offset_sectors: int,
+        image_sectors: int,
+        guest_scheduler_factory: Callable[[], IOScheduler],
+        cpu_capacity: float = 1.0,
+        pagecache_params: Optional[PageCacheParams] = None,
+        fs_fragmentation: float = 0.02,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional["TraceBus"] = None,
+        ring_slots: int = DEFAULT_RING_SLOTS,
+    ):
+        self.env = env
+        self.vm_id = vm_id
+        self.host_name: Optional[str] = None  # set by PhysicalHost.add_vm
+        self.vdisk = VirtualBlockDevice(
+            env,
+            guest_scheduler_factory(),
+            backend_disk,
+            vm_id=vm_id,
+            lba_offset=image_offset_sectors,
+            capacity_sectors=image_sectors,
+            trace=trace,
+            ring_slots=ring_slots,
+        )
+        self.cpu = ProcessorSharingCPU(env, cpu_capacity, name=f"cpu@{vm_id}")
+        self.fs = GuestFilesystem(
+            image_sectors,
+            fragmentation=fs_fragmentation,
+            rng=rng or np.random.default_rng(0),
+        )
+        self.cache = PageCache(
+            env, self.vdisk, pagecache_params, name=f"pc@{vm_id}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<VM {self.vm_id} sched={self.vdisk.scheduler.name}>"
+
+    # -- file I/O helpers (generators to run inside sim processes) ------------------
+    def create_file(self, name: str, size_bytes: int) -> GuestFile:
+        return self.fs.create_or_replace(name, size_bytes)
+
+    def read_file(self, file: GuestFile, offset: int, length: int, pid: Any):
+        """Generator: read through the page cache."""
+        yield from self.cache.read(file, offset, length, pid)
+
+    def write_file(self, file: GuestFile, offset: int, length: int, pid: Any,
+                   sync: bool = False):
+        """Generator: write through the page cache (buffered by default)."""
+        yield from self.cache.write(file, offset, length, pid, sync=sync)
+
+    def fsync(self, file: GuestFile, pid: Any):
+        yield from self.cache.fsync(file, pid)
+
+    # -- compute -----------------------------------------------------------------
+    def compute(self, seconds_of_work: float, label: Any = None) -> CPUJob:
+        """Submit CPU work; the event fires when the vCPU finishes it."""
+        return self.cpu.execute(seconds_of_work, label)
+
+    # -- control plane ------------------------------------------------------------
+    def switch_scheduler(self, factory: Callable[[], IOScheduler]) -> Event:
+        """Hot-switch the guest elevator (``echo x > /sys/block/xvda/...``)."""
+        return self.vdisk.switch_scheduler(factory)
+
+    @property
+    def scheduler_name(self) -> str:
+        return self.vdisk.scheduler.name

@@ -1,0 +1,23 @@
+"""Workloads: the paper's Hadoop benchmarks and raw-I/O microbenchmarks."""
+
+from .ddwrite import DdParallelWrite, dd_writer
+from .profiles import (
+    BENCHMARKS,
+    SORT,
+    WORDCOUNT,
+    WORDCOUNT_NO_COMBINER,
+    benchmark,
+)
+from .sysbench import SysbenchSeqWrite, sysbench_writer
+
+__all__ = [
+    "BENCHMARKS",
+    "DdParallelWrite",
+    "SORT",
+    "SysbenchSeqWrite",
+    "WORDCOUNT",
+    "WORDCOUNT_NO_COMBINER",
+    "benchmark",
+    "dd_writer",
+    "sysbench_writer",
+]

@@ -1,0 +1,59 @@
+"""The ``dd`` zero-write workload used to measure switch costs (Fig. 5).
+
+"We start a dd command that writes 600 MB of zeroes from /dev/zero to a
+file in parallel on four machines within the same physical machine."
+The file is flushed at the end so the elapsed time covers the full data
+volume (``conv=fsync`` semantics), making the paper's cost formula
+well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..sim.events import AllOf
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+    from ..virt.hypervisor import PhysicalHost
+    from ..virt.vm import VM
+
+__all__ = ["dd_writer", "DdParallelWrite"]
+
+MB = 1024 * 1024
+
+
+def dd_writer(vm: "VM", nbytes: int = 600 * MB, io_chunk: int = 4 * MB,
+              tag: str = "dd"):
+    """Generator: one VM's dd run (buffered writes + final fsync)."""
+    pid = f"{tag}@{vm.vm_id}"
+    f = vm.create_file(f"{tag}_out", nbytes)
+    pos = 0
+    while pos < nbytes:
+        chunk = min(io_chunk, nbytes - pos)
+        yield from vm.write_file(f, pos, chunk, pid)
+        pos += chunk
+    yield from vm.fsync(f, pid)
+
+
+class DdParallelWrite:
+    """dd in parallel on every VM of one physical host."""
+
+    def __init__(self, env: "Environment", host: "PhysicalHost",
+                 nbytes: int = 600 * MB):
+        self.env = env
+        self.host = host
+        self.nbytes = nbytes
+
+    def start(self):
+        """Launch; the returned process value is the elapsed seconds."""
+        return self.env.process(self._run())
+
+    def _run(self):
+        start = self.env.now
+        procs: List = [
+            self.env.process(dd_writer(vm, self.nbytes)) for vm in self.host.vms
+        ]
+        if procs:
+            yield AllOf(self.env, procs)
+        return self.env.now - start

@@ -1,0 +1,93 @@
+"""Tests: the observational phase detector vs the oracle job events."""
+
+import pytest
+
+from repro.core import DetectorParams, PhaseDetector, ResourceSample
+from repro.hdfs import NameNode
+from repro.mapreduce import MB, JobConfig, MapReduceJob
+from repro.net import Topology
+from repro.sim import Environment
+from repro.virt import ClusterConfig, PageCacheParams, VirtualCluster
+from repro.workloads import SORT
+
+
+def run_sort_with_detector(params=None):
+    env = Environment()
+    cluster = VirtualCluster(
+        env,
+        ClusterConfig(
+            hosts=2,
+            vms_per_host=2,
+            pagecache=PageCacheParams(
+                capacity_bytes=40 * MB,
+                dirty_background_bytes=2 * MB,
+                dirty_limit_bytes=8 * MB,
+            ),
+        ),
+    )
+    topo = Topology(env)
+    nn = NameNode(cluster, block_size=8 * MB)
+    job = MapReduceJob(
+        env, cluster, topo, nn,
+        JobConfig(spec=SORT, bytes_per_vm=64 * MB, block_size=8 * MB,
+                  sort_buffer_bytes=8 * MB, shuffle_buffer_bytes=8 * MB),
+    )
+    detector = PhaseDetector(env, cluster, params)
+    proc = job.start()
+
+    def stopper():
+        yield proc
+        detector.stop()
+
+    env.process(stopper())
+    env.run(until=proc)
+    env.run(until=env.now + 5)
+    return proc.value, detector
+
+
+def test_detector_collects_samples():
+    result, detector = run_sort_with_detector()
+    assert len(detector.samples) >= int(result.duration) - 2
+    for s in detector.samples:
+        assert 0 <= s.cpu_util <= 1
+        assert s.disk_read_rate >= 0 and s.disk_write_rate >= 0
+
+
+def test_detector_finds_maps_done_near_oracle():
+    result, detector = run_sort_with_detector()
+    oracle = result.phases.maps_done
+    assert detector.maps_done_detected is not None
+    # Coarse-grained detection: within a handful of sampling windows of
+    # the true boundary (the paper's detection is coarse by design).
+    assert detector.maps_done_detected == pytest.approx(oracle, abs=6.0)
+    # Crucially, never *before* the read stream actually collapsed
+    # far ahead of the boundary.
+    assert detector.maps_done_detected > oracle * 0.5
+
+
+def test_read_share_property():
+    s = ResourceSample(0.0, 0.5, 75.0, 25.0)
+    assert s.read_share == pytest.approx(0.75)
+    idle = ResourceSample(0.0, 0.0, 0.0, 0.0)
+    assert idle.read_share == 0.0
+
+
+def test_classification_classes():
+    detector_cls = PhaseDetector.classify
+    d = PhaseDetector.__new__(PhaseDetector)  # classify needs no state
+    assert detector_cls(d, ResourceSample(0, 0.9, 100, 100)) == "computation+disk"
+    assert detector_cls(d, ResourceSample(0, 0.0, 100, 100)) == "disk+network"
+    assert detector_cls(d, ResourceSample(0, 0.9, 0, 0)) == "computation"
+    assert detector_cls(d, ResourceSample(0, 0.0, 0, 0)) == "idle"
+
+
+def test_hysteresis_avoids_spurious_boundaries():
+    """A single write-dominated window must not trigger detection."""
+    _, strict = run_sort_with_detector(
+        DetectorParams(sample_interval=0.5, hysteresis=6)
+    )
+    _, eager = run_sort_with_detector(
+        DetectorParams(sample_interval=0.5, hysteresis=1)
+    )
+    if strict.maps_done_detected and eager.maps_done_detected:
+        assert eager.maps_done_detected <= strict.maps_done_detected + 1e-9

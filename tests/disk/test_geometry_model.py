@@ -1,0 +1,125 @@
+"""Unit tests for disk geometry and the service-time model."""
+
+import numpy as np
+import pytest
+
+from repro.disk import (
+    BlockRequest,
+    DiskGeometry,
+    DiskParameters,
+    IoOp,
+    ServiceTimeModel,
+)
+
+
+def test_geometry_defaults_are_1tb():
+    g = DiskGeometry()
+    assert g.capacity_bytes == pytest.approx(1e12, rel=0.05)
+
+
+def test_cylinder_mapping_monotone():
+    g = DiskGeometry(total_sectors=1000, cylinders=10)
+    cyls = [g.cylinder_of(lba) for lba in range(0, 1000, 100)]
+    assert cyls == sorted(cyls)
+    assert g.cylinder_of(999) == 9
+
+
+def test_cylinder_clamped_at_end():
+    g = DiskGeometry(total_sectors=1000, cylinders=10)
+    assert g.cylinder_of(10_000) == 9
+
+
+def test_negative_lba_rejected():
+    with pytest.raises(ValueError):
+        DiskGeometry().cylinder_of(-1)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        DiskGeometry(total_sectors=0)
+    with pytest.raises(ValueError):
+        DiskGeometry(outer_rate=10, inner_rate=20)
+
+
+def test_zoned_rate_outer_faster():
+    g = DiskGeometry()
+    assert g.rate_at(0) == pytest.approx(g.outer_rate)
+    assert g.rate_at(g.total_sectors - 1) == pytest.approx(g.inner_rate, rel=0.01)
+    assert g.rate_at(0) > g.rate_at(g.total_sectors // 2) > g.rate_at(g.total_sectors - 1)
+
+
+def test_seek_distance_symmetric():
+    g = DiskGeometry()
+    a, b = 1000, 500_000_000
+    assert g.seek_distance(a, b) == g.seek_distance(b, a) > 0
+
+
+def test_seek_time_curve():
+    p = DiskParameters()
+    assert p.seek_time(0) == 0.0
+    assert 0 < p.seek_time(1) < p.seek_time(100) < p.seek_time(10_000)
+    # Full-stroke seek on the default geometry lands in a plausible range.
+    full = p.seek_time(DiskGeometry().cylinders)
+    assert 0.010 < full < 0.030
+
+
+def test_sequential_request_has_no_seek_or_rotation():
+    m = ServiceTimeModel(rng=np.random.default_rng(1))
+    first = BlockRequest(0, 256, IoOp.READ, "p")
+    m.service(first)
+    second = BlockRequest(256, 256, IoOp.READ, "p")
+    b = m.service(second)
+    assert b.seek == 0.0
+    assert b.rotation == 0.0
+    assert b.transfer > 0
+
+
+def test_random_request_pays_seek_and_rotation():
+    m = ServiceTimeModel(rng=np.random.default_rng(1))
+    m.service(BlockRequest(0, 256, IoOp.READ, "p"))
+    far = BlockRequest(1_000_000_000, 256, IoOp.READ, "p")
+    b = m.service(far)
+    assert b.seek > 0
+    assert 0 <= b.rotation <= m.params.rotation_time
+
+
+def test_write_settle_charged_on_reposition():
+    m1 = ServiceTimeModel(rng=np.random.default_rng(1))
+    m2 = ServiceTimeModel(rng=np.random.default_rng(1))
+    m1.service(BlockRequest(0, 8, IoOp.READ, "p"))
+    m2.service(BlockRequest(0, 8, IoOp.READ, "p"))
+    read = m1.service(BlockRequest(10_000_000, 8, IoOp.READ, "p"))
+    write = m2.service(BlockRequest(10_000_000, 8, IoOp.WRITE, "p"))
+    assert write.seek == pytest.approx(read.seek + m2.params.write_settle)
+
+
+def test_head_advances_to_request_end():
+    m = ServiceTimeModel()
+    m.service(BlockRequest(100, 28, IoOp.READ, "p"))
+    assert m.head_lba == 128
+
+
+def test_sequential_stream_much_faster_than_random():
+    """The core premise: sequential streaming beats random access by >5x."""
+    rng = np.random.default_rng(7)
+    seq = ServiceTimeModel(rng=np.random.default_rng(1))
+    rand = ServiceTimeModel(rng=np.random.default_rng(1))
+    n, size = 200, 512  # 256 KB requests
+    t_seq = sum(seq.service(BlockRequest(i * size, size, IoOp.READ, "p")).total for i in range(n))
+    positions = rng.integers(0, 1_900_000_000, n)
+    t_rand = sum(
+        rand.service(BlockRequest(int(p), size, IoOp.READ, "p")).total for p in positions
+    )
+    assert t_rand > 5 * t_seq
+
+
+def test_service_deterministic_for_same_rng_seed():
+    def run(seed):
+        m = ServiceTimeModel(rng=np.random.default_rng(seed))
+        return [
+            m.service(BlockRequest(i * 100_000_000 % 1_900_000_000, 64, IoOp.READ, "p")).total
+            for i in range(20)
+        ]
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)

@@ -1,0 +1,36 @@
+"""CLI tests (tiny scale so each invocation stays quick)."""
+
+import pytest
+
+from repro.cli import build_parser, main, run_one
+
+
+def test_parser_accepts_known_experiments():
+    args = build_parser().parse_args(["fig8", "--scale", "0.05", "--seeds", "0,1"])
+    assert args.experiment == "fig8"
+    assert args.scale == 0.05
+    assert args.seeds == (0, 1)
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_parser_rejects_bad_seeds():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig8", "--seeds", "x,y"])
+
+
+def test_main_runs_fig8_small(capsys):
+    rc = main(["fig8", "--scale", "0.05", "--seeds", "0"])
+    out = capsys.readouterr().out
+    assert "### fig8" in out
+    assert "wordcount" in out
+    assert rc in (0, 1)  # shape checks may not hold at toy scale
+
+
+def test_run_one_returns_check_status(capsys):
+    ok = run_one("fig8", scale=0.05, seeds=(0,))
+    assert isinstance(ok, bool)
+    assert "fig8" in capsys.readouterr().out

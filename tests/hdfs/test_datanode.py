@@ -1,0 +1,128 @@
+"""Integration tests for DataNode block reads and the write pipeline."""
+
+import pytest
+
+from repro.hdfs import DataNodeService, NameNode
+from repro.net import Topology
+from repro.sim import Environment
+from repro.virt import ClusterConfig, VirtualCluster
+
+MB = 1024 * 1024
+
+
+def make_stack(env, hosts=2, vms=2):
+    cluster = VirtualCluster(env, ClusterConfig(hosts=hosts, vms_per_host=vms))
+    topo = Topology(env)
+    for host in cluster.hosts:
+        topo.add_host(host.name)
+    nn = NameNode(cluster, block_size=16 * MB)
+    dn = DataNodeService(env, cluster, topo)
+    return cluster, topo, nn, dn
+
+
+def run_proc(env, gen):
+    p = env.process(gen)
+    env.run(until=p)
+    return p
+
+
+def test_local_read_touches_only_local_disk():
+    env = Environment()
+    cluster, topo, nn, dn = make_stack(env)
+    nn.load_input("in", 16 * MB)
+    vm = cluster.vms[0]
+    block = nn.local_blocks("in", vm.vm_id)[0]
+    run_proc(env, dn.read_block(block, vm.vm_id, "r"))
+    host = cluster.host_of(vm)
+    assert host.disk.stats.read_bytes == 16 * MB
+    assert topo.network.completed_flows == 0  # no network traffic
+
+
+def test_remote_read_crosses_network():
+    env = Environment()
+    # 3 hosts so some blocks have no replica on the reader's host
+    # (2-host clusters with replication 2 span every host).
+    cluster, topo, nn, dn = make_stack(env, hosts=3)
+    nn.load_input("in", 16 * MB)
+    vm = cluster.vms[0]
+    # Find a block with no replica on vm's host.
+    target = None
+    vm_host = vm.host_name
+    for block in nn.lookup("in").blocks:
+        hosts = {cluster.vm(r).host_name for r in block.replicas}
+        if vm_host not in hosts:
+            target = block
+            break
+    assert target is not None
+    run_proc(env, dn.read_block(target, vm.vm_id, "r"))
+    assert topo.network.completed_flows > 0
+    assert topo.network.bytes_transferred == pytest.approx(16 * MB)
+
+
+def test_pick_replica_prefers_local_then_same_host():
+    env = Environment()
+    cluster, topo, nn, dn = make_stack(env)
+    nn.load_input("in", 16 * MB)
+    block = nn.lookup("in").blocks[0]
+    primary = block.replicas[0]
+    assert dn.pick_replica(block, primary) == primary
+    # A sibling VM on the primary's host prefers the same-host replica.
+    host = cluster.host_of(cluster.vm(primary))
+    sibling = next(v for v in host.vms if v.vm_id != primary)
+    picked = dn.pick_replica(block, sibling.vm_id)
+    assert cluster.vm(picked).host_name == host.name
+
+
+def test_partial_block_read():
+    env = Environment()
+    cluster, topo, nn, dn = make_stack(env)
+    nn.load_input("in", 16 * MB)
+    vm = cluster.vms[0]
+    block = nn.local_blocks("in", vm.vm_id)[0]
+    run_proc(env, dn.read_block(block, vm.vm_id, "r", offset=0, length=4 * MB))
+    host = cluster.host_of(vm)
+    assert host.disk.stats.read_bytes == 4 * MB
+
+
+def test_write_block_replicates_to_both_vms():
+    env = Environment()
+    cluster, topo, nn, dn = make_stack(env)
+    out = nn.register_file("out")
+    writer = cluster.vms[0].vm_id
+    block = nn.add_block(out, 16 * MB, writer)
+    run_proc(env, dn.write_block(block, writer, "w"))
+    for vm_id in block.replicas:
+        vm = cluster.vm(vm_id)
+        f = vm.fs.lookup(block.local_name(vm_id))
+        assert f is not None and f.size_bytes == 16 * MB
+    # Remote replica data crossed the network.
+    assert topo.network.bytes_transferred == pytest.approx(16 * MB)
+
+
+def test_written_block_is_readable():
+    env = Environment()
+    cluster, topo, nn, dn = make_stack(env)
+    out = nn.register_file("out")
+    writer = cluster.vms[0].vm_id
+    block = nn.add_block(out, 8 * MB, writer)
+    run_proc(env, dn.write_block(block, writer, "w"))
+    reader = cluster.vms[-1].vm_id
+    run_proc(env, dn.read_block(block, reader, "r"))
+    assert env.now > 0
+
+
+def test_missing_replica_raises():
+    env = Environment()
+    cluster, topo, nn, dn = make_stack(env)
+    out = nn.register_file("out")
+    block = nn.add_block(out, 8 * MB, cluster.vms[0].vm_id)
+    # Block was never written: guest files absent.
+    with pytest.raises(FileNotFoundError):
+        run_proc(env, dn.read_block(block, cluster.vms[0].vm_id, "r"))
+
+
+def test_invalid_segment_size():
+    env = Environment()
+    cluster, topo, nn, _ = make_stack(env)
+    with pytest.raises(ValueError):
+        DataNodeService(env, cluster, topo, segment_bytes=0)

@@ -1,0 +1,120 @@
+"""Unit tests for the NameNode and block placement."""
+
+import pytest
+
+from repro.hdfs import NameNode
+from repro.sim import Environment
+from repro.virt import ClusterConfig, VirtualCluster
+
+MB = 1024 * 1024
+
+
+def make_cluster(env, hosts=2, vms=2):
+    return VirtualCluster(env, ClusterConfig(hosts=hosts, vms_per_host=vms))
+
+
+def test_load_input_balanced_and_local():
+    env = Environment()
+    cluster = make_cluster(env)
+    nn = NameNode(cluster, block_size=16 * MB)
+    file = nn.load_input("input", 64 * MB)
+    assert file.size_bytes == 64 * MB * 4  # per VM
+    # Every VM holds exactly its own share as primary replicas.
+    for vm in cluster.vms:
+        local = nn.local_blocks("input", vm.vm_id)
+        assert len(local) == 4  # 64 MB / 16 MB
+        for block in local:
+            assert block.replicas[0] == vm.vm_id
+
+
+def test_replicas_cross_physical_hosts():
+    env = Environment()
+    cluster = make_cluster(env)
+    nn = NameNode(cluster, block_size=16 * MB, replication=2)
+    nn.load_input("input", 16 * MB)
+    for block in nn.lookup("input").blocks:
+        assert len(block.replicas) == 2
+        h0 = cluster.vm(block.replicas[0]).host_name
+        h1 = cluster.vm(block.replicas[1]).host_name
+        assert h0 != h1
+
+
+def test_single_host_placement_falls_back():
+    env = Environment()
+    cluster = VirtualCluster(env, ClusterConfig(hosts=1, vms_per_host=3))
+    nn = NameNode(cluster, replication=2)
+    replicas = nn.place_replicas(cluster.vms[0].vm_id)
+    assert len(replicas) == 2
+    assert replicas[0] != replicas[1]
+
+
+def test_replica_guest_files_exist():
+    env = Environment()
+    cluster = make_cluster(env)
+    nn = NameNode(cluster, block_size=16 * MB)
+    nn.load_input("input", 16 * MB)
+    block = nn.lookup("input").blocks[0]
+    for vm_id in block.replicas:
+        vm = cluster.vm(vm_id)
+        f = vm.fs.lookup(block.local_name(vm_id))
+        assert f is not None
+        assert f.size_bytes == block.size_bytes
+
+
+def test_lookup_missing_raises():
+    env = Environment()
+    nn = NameNode(make_cluster(env))
+    with pytest.raises(FileNotFoundError):
+        nn.lookup("nope")
+
+
+def test_register_duplicate_rejected():
+    env = Environment()
+    nn = NameNode(make_cluster(env))
+    nn.register_file("f")
+    with pytest.raises(FileExistsError):
+        nn.register_file("f")
+
+
+def test_delete_removes_replica_files():
+    env = Environment()
+    cluster = make_cluster(env)
+    nn = NameNode(cluster, block_size=16 * MB)
+    nn.load_input("input", 16 * MB)
+    block = nn.lookup("input").blocks[0]
+    names = [(vm_id, block.local_name(vm_id)) for vm_id in block.replicas]
+    nn.delete("input")
+    assert not nn.exists("input")
+    for vm_id, name in names:
+        assert cluster.vm(vm_id).fs.lookup(name) is None
+
+
+def test_add_block_appends_with_placement():
+    env = Environment()
+    cluster = make_cluster(env)
+    nn = NameNode(cluster)
+    f = nn.register_file("out")
+    writer = cluster.vms[0].vm_id
+    b = nn.add_block(f, 8 * MB, writer)
+    assert b.replicas[0] == writer
+    assert b.index == 0
+    assert nn.lookup("out").blocks == [b]
+
+
+def test_invalid_params():
+    env = Environment()
+    cluster = make_cluster(env)
+    with pytest.raises(ValueError):
+        NameNode(cluster, block_size=0)
+    with pytest.raises(ValueError):
+        NameNode(cluster, replication=0)
+    nn = NameNode(cluster)
+    with pytest.raises(ValueError):
+        nn.load_input("x", 0)
+
+
+def test_replication_capped_at_cluster_size():
+    env = Environment()
+    cluster = VirtualCluster(env, ClusterConfig(hosts=1, vms_per_host=2))
+    nn = NameNode(cluster, replication=5)
+    assert nn.replication == 2

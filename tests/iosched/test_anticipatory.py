@@ -1,0 +1,137 @@
+"""Unit tests for the anticipatory elevator."""
+
+import pytest
+
+from repro.disk import BlockRequest, IoOp
+from repro.iosched import AnticipatoryParams, AnticipatoryScheduler
+
+
+def req(lba, n=8, op=IoOp.READ, pid="p", sync=None):
+    return BlockRequest(lba, n, op, pid, sync=sync)
+
+
+def make_sched(**overrides):
+    return AnticipatoryScheduler(params=AnticipatoryParams(**overrides))
+
+
+def complete(sched, request, now):
+    """Simulate the device finishing a request."""
+    sched.on_complete(request, now)
+
+
+def test_anticipates_after_sync_read_completion():
+    sched = make_sched(antic_expire=0.006)
+    r = req(100, pid="a")
+    sched.add_request(r, 0.0)
+    d = sched.next_request(0.0)
+    assert d.request is r
+    complete(sched, r, 0.01)
+    # Another process's request is queued, but AS holds for process a.
+    sched.add_request(req(900_000, pid="b"), 0.01)
+    d = sched.next_request(0.01)
+    assert d.request is None
+    assert d.wait_until == pytest.approx(0.016)
+
+
+def test_anticipation_pays_off_for_near_request():
+    sched = make_sched(antic_expire=0.006)
+    r = req(100, pid="a")
+    sched.add_request(r, 0.0)
+    sched.next_request(0.0)
+    complete(sched, r, 0.01)
+    sched.add_request(req(900_000, pid="b"), 0.01)
+    assert sched.next_request(0.01).wait_until is not None
+    # Process a returns within the window.
+    mine = req(108, pid="a")
+    sched.add_request(mine, 0.012)
+    d = sched.next_request(0.012)
+    assert d.request is mine
+    assert sched.antic_hits == 1
+
+
+def test_anticipation_times_out():
+    sched = make_sched(antic_expire=0.006)
+    r = req(100, pid="a")
+    sched.add_request(r, 0.0)
+    sched.next_request(0.0)
+    complete(sched, r, 0.01)
+    other = req(900_000, pid="b")
+    sched.add_request(other, 0.01)
+    assert sched.next_request(0.01).wait_until is not None
+    # Past the window: dispatch the other process's request.
+    d = sched.next_request(0.017)
+    assert d.request is other
+    assert sched.antic_timeouts == 1
+
+
+def test_no_anticipation_after_async_write():
+    sched = make_sched()
+    w = req(100, op=IoOp.WRITE, pid="a", sync=False)
+    sched.add_request(w, 0.0)
+    sched.next_request(0.0)
+    complete(sched, w, 0.01)
+    other = req(900_000, pid="b")
+    sched.add_request(other, 0.01)
+    assert sched.next_request(0.01).request is other
+
+
+def test_think_time_gating_disables_anticipation():
+    sched = make_sched(antic_expire=0.006, max_think_time=0.006)
+    # Train process "slow" with large think times: completion at t, next
+    # arrival much later.
+    for i in range(5):
+        t = i * 1.0
+        r = req(1000 + i * 8, pid="slow")
+        sched.add_request(r, t + 0.5)  # 0.5 s after previous completion
+        sched.next_request(t + 0.5)
+        complete(sched, r, t + 0.51)
+    other = req(900_000, pid="b")
+    sched.add_request(other, 5.0)
+    # "slow" just completed, but its think time history disqualifies it.
+    d = sched.next_request(5.0)
+    assert d.request is other
+
+
+def test_expired_fifo_served_after_anticipation_window():
+    """Kernel semantics: an expired FIFO does not abort the (bounded)
+    anticipation hold, but once the window closes the starving request
+    is served from the FIFO head."""
+    sched = make_sched(antic_expire=0.006, read_expire=0.125)
+    r = req(100, pid="a")
+    sched.add_request(r, 0.0)
+    sched.next_request(0.0)
+    complete(sched, r, 0.01)
+    other = req(900_000, pid="b")
+    sched.add_request(other, 0.01)
+    # During the hold, the disk stays idle even though b is queued.
+    d = sched.next_request(0.012)
+    assert d.request is None and d.wait_until == pytest.approx(0.016)
+    # After the window (and b's FIFO deadline 0.135 has long expired),
+    # b is dispatched.
+    d = sched.next_request(0.2)
+    assert d.request is other
+
+
+def test_drain_clears_anticipation_state():
+    sched = make_sched()
+    r = req(100, pid="a")
+    sched.add_request(r, 0.0)
+    sched.next_request(0.0)
+    complete(sched, r, 0.01)
+    sched.add_request(req(900_000, pid="b"), 0.01)
+    drained = sched.drain()
+    assert len(drained) == 1
+    assert sched.next_request(0.011).idle
+
+
+def test_prefers_nearest_request_of_anticipated_process():
+    sched = make_sched()
+    r = req(100, pid="a")
+    sched.add_request(r, 0.0)
+    sched.next_request(0.0)  # head now at 108
+    complete(sched, r, 0.01)
+    near, far = req(200, pid="a"), req(5_000_000, pid="a")
+    sched.add_request(far, 0.012)
+    sched.add_request(near, 0.012)
+    d = sched.next_request(0.012)
+    assert d.request is near

@@ -1,0 +1,156 @@
+"""Unit tests for the scheduler base: merging and the sorted list."""
+
+import pytest
+
+from repro.disk import BlockRequest, IoOp
+from repro.iosched import NoopScheduler, SortedRequestList
+from repro.iosched.base import DispatchDecision
+
+
+def req(lba, n=8, op=IoOp.READ, pid="p", sync=None):
+    return BlockRequest(lba, n, op, pid, sync=sync)
+
+
+# -- SortedRequestList ---------------------------------------------------------
+
+
+def test_sorted_list_orders_by_lba():
+    s = SortedRequestList()
+    for lba in [50, 10, 30]:
+        s.add(req(lba))
+    assert [r.lba for r in s] == [10, 30, 50]
+
+
+def test_sorted_list_duplicate_add_rejected():
+    s = SortedRequestList()
+    r = req(10)
+    s.add(r)
+    with pytest.raises(ValueError):
+        s.add(r)
+
+
+def test_sorted_list_remove():
+    s = SortedRequestList()
+    r1, r2 = req(10), req(20)
+    s.add(r1)
+    s.add(r2)
+    s.remove(r1)
+    assert list(s) == [r2]
+    with pytest.raises(KeyError):
+        s.remove(r1)
+
+
+def test_first_at_or_after_with_wrap():
+    s = SortedRequestList()
+    for lba in [10, 30, 50]:
+        s.add(req(lba))
+    assert s.first_at_or_after(25).lba == 30
+    assert s.first_at_or_after(30).lba == 30
+    assert s.first_at_or_after(60).lba == 10  # wraps
+    assert s.first_at_or_after(60, wrap=False) is None
+
+
+def test_closest_to():
+    s = SortedRequestList()
+    for lba in [10, 30, 100]:
+        s.add(req(lba))
+    assert s.closest_to(35).lba == 30
+    assert s.closest_to(70).lba == 100
+    assert s.closest_to(0).lba == 10
+    assert SortedRequestList().closest_to(5) is None
+
+
+def test_reposition_after_front_merge():
+    s = SortedRequestList()
+    r = req(40)
+    s.add(r)
+    s.add(req(10))
+    r.lba = 20  # simulate front merge
+    s.reposition(r, 40)
+    assert [x.lba for x in s] == [10, 20]
+
+
+def test_same_lba_requests_both_kept():
+    s = SortedRequestList()
+    a, b = req(10), req(10)
+    s.add(a)
+    s.add(b)
+    assert len(s) == 2
+    s.remove(a)
+    assert list(s) == [b]
+
+
+# -- base merging (via noop) ------------------------------------------------------
+
+
+def test_back_merge_into_queued_request():
+    sched = NoopScheduler()
+    a = req(0, 8)
+    sched.add_request(a, 0.0)
+    merged = sched.add_request(req(8, 8), 0.0)
+    assert merged
+    assert sched.pending == 1
+    assert a.nsectors == 16
+    assert sched.total_merged == 1
+
+
+def test_front_merge_into_queued_request():
+    sched = NoopScheduler()
+    a = req(8, 8)
+    sched.add_request(a, 0.0)
+    merged = sched.add_request(req(0, 8), 0.0)
+    assert merged
+    assert a.lba == 0 and a.nsectors == 16
+
+
+def test_chained_back_merges_update_hash():
+    sched = NoopScheduler()
+    a = req(0, 8)
+    sched.add_request(a, 0.0)
+    assert sched.add_request(req(8, 8), 0.0)
+    assert sched.add_request(req(16, 8), 0.0)
+    assert a.nsectors == 24
+    assert sched.pending == 1
+
+
+def test_merge_respects_max_sectors():
+    sched = NoopScheduler(max_sectors=12)
+    sched.add_request(req(0, 8), 0.0)
+    assert not sched.add_request(req(8, 8), 0.0)
+    assert sched.pending == 2
+
+
+def test_no_merge_across_direction():
+    sched = NoopScheduler()
+    sched.add_request(req(0, 8, op=IoOp.READ), 0.0)
+    assert not sched.add_request(req(8, 8, op=IoOp.WRITE), 0.0)
+
+
+def test_dispatch_clears_merge_maps():
+    sched = NoopScheduler()
+    sched.add_request(req(0, 8), 0.0)
+    d = sched.next_request(0.0)
+    assert d.request is not None
+    # A new adjacent request must not merge into the dispatched one.
+    assert not sched.add_request(req(8, 8), 0.0)
+
+
+def test_decision_idle_flag():
+    assert DispatchDecision().idle
+    assert not DispatchDecision(wait_until=1.0).idle
+    assert not DispatchDecision(request=req(0)).idle
+
+
+def test_drain_returns_everything_and_resets():
+    sched = NoopScheduler()
+    for lba in [0, 100, 200]:
+        sched.add_request(req(lba), 0.0)
+    drained = sched.drain()
+    assert len(drained) == 3
+    assert sched.pending == 0
+    assert sched.next_request(0.0).idle
+
+
+def test_invalid_max_sectors():
+    with pytest.raises(ValueError):
+        NoopScheduler(max_sectors=0)

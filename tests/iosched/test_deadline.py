@@ -1,0 +1,126 @@
+"""Unit tests for the deadline elevator."""
+
+import pytest
+
+from repro.disk import BlockRequest, IoOp
+from repro.iosched import DeadlineParams, DeadlineScheduler
+
+
+def req(lba, n=8, op=IoOp.READ, pid="p", sync=None):
+    return BlockRequest(lba, n, op, pid, sync=sync)
+
+
+def drain_order(sched, now=0.0):
+    order = []
+    while True:
+        d = sched.next_request(now)
+        if d.request is None:
+            break
+        order.append(d.request)
+    return order
+
+
+def test_dispatches_in_lba_order_within_batch():
+    sched = DeadlineScheduler()
+    for lba in [300, 100, 200]:
+        sched.add_request(req(lba), 0.0)
+    assert [r.lba for r in drain_order(sched)] == [100, 200, 300]
+
+
+def test_reads_preferred_over_writes():
+    sched = DeadlineScheduler()
+    sched.add_request(req(100, op=IoOp.WRITE), 0.0)
+    sched.add_request(req(200, op=IoOp.READ), 0.0)
+    first = sched.next_request(0.0).request
+    assert first.op is IoOp.READ
+
+
+def test_write_starvation_bounded():
+    params = DeadlineParams(fifo_batch=1, writes_starved=2)
+    sched = DeadlineScheduler(params=params)
+    # Steady stream of reads with writes waiting.
+    sched.add_request(req(1000, op=IoOp.WRITE), 0.0)
+    ops = []
+    for i in range(6):
+        sched.add_request(req(i * 10, op=IoOp.READ), 0.0)
+    for _ in range(4):
+        r = sched.next_request(0.0).request
+        ops.append(r.op)
+    # After `writes_starved` read batches, the write must be served.
+    assert IoOp.WRITE in ops
+
+
+def test_expired_read_jumps_elevator():
+    params = DeadlineParams(read_expire=0.5)
+    sched = DeadlineScheduler(params=params)
+    sched.add_request(req(1000), 0.0)  # old request far away
+    sched.add_request(req(10), 0.9)  # newer, near start
+    # Deadline of the first read (0.5) has expired at t=1.0; a new batch
+    # starts at the FIFO head (the oldest request), not at LBA order.
+    first = sched.next_request(1.0).request
+    assert first.lba == 1000
+
+
+def test_batch_continues_from_last_position():
+    params = DeadlineParams(fifo_batch=16)
+    sched = DeadlineScheduler(params=params)
+    sched.add_request(req(100), 0.0)
+    assert sched.next_request(0.0).request.lba == 100
+    # New requests behind the head position: elevator continues upward.
+    sched.add_request(req(50), 0.0)
+    sched.add_request(req(150), 0.0)
+    assert sched.next_request(0.0).request.lba == 150
+    assert sched.next_request(0.0).request.lba == 50
+
+
+def test_never_idles():
+    """Deadline has no anticipation: it always dispatches if non-empty."""
+    sched = DeadlineScheduler()
+    sched.add_request(req(100), 0.0)
+    d = sched.next_request(0.0)
+    assert d.request is not None
+    d2 = sched.next_request(0.0)
+    assert d2.idle  # empty now, plain idle (no wait_until)
+
+
+def test_empty_queue_idle():
+    assert DeadlineScheduler().next_request(0.0).idle
+
+
+def test_deadlines_assigned_by_direction():
+    params = DeadlineParams(read_expire=0.5, write_expire=5.0)
+    sched = DeadlineScheduler(params=params)
+    r, w = req(0, op=IoOp.READ), req(100, op=IoOp.WRITE)
+    sched.add_request(r, 10.0)
+    sched.add_request(w, 10.0)
+    assert r.deadline == pytest.approx(10.5)
+    assert w.deadline == pytest.approx(15.0)
+
+
+def test_front_merge_repositions_in_sorted_queue():
+    sched = DeadlineScheduler()
+    sched.add_request(req(100, 8), 0.0)
+    sched.add_request(req(92, 8), 0.0)  # front merge (92..100 + 100..108)
+    assert sched.pending == 1
+    assert sched.next_request(0.0).request.lba == 92
+
+
+def test_drain_returns_fifo_order():
+    sched = DeadlineScheduler()
+    a, b = req(500), req(100)
+    sched.add_request(a, 0.0)
+    sched.add_request(b, 1.0)
+    drained = sched.drain()
+    assert drained == [a, b]
+    assert sched.pending == 0
+
+
+def test_wrap_around_at_top_of_lba_space():
+    sched = DeadlineScheduler(params=DeadlineParams(fifo_batch=2))
+    sched.add_request(req(900), 0.0)
+    assert sched.next_request(0.0).request.lba == 900
+    # Batch exhausted; next batch wraps from position 908 to the lowest.
+    sched.add_request(req(100), 0.0)
+    sched.add_request(req(50), 0.0)
+    nxt = sched.next_request(0.0).request
+    assert nxt.lba == 50

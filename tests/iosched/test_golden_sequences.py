@@ -1,0 +1,121 @@
+"""Golden-sequence regression tests: exact dispatch orders.
+
+Each test scripts a fixed arrival sequence and asserts the exact order
+every scheduler dispatches it in.  These pin down the arbitration
+semantics the experiments depend on; any change to a policy's ordering
+shows up here first.
+"""
+
+from repro.disk import BlockRequest, IoOp
+from repro.iosched import (
+    AnticipatoryParams,
+    AnticipatoryScheduler,
+    CfqParams,
+    CfqScheduler,
+    DeadlineParams,
+    DeadlineScheduler,
+    NoopScheduler,
+)
+
+
+def req(lba, n=8, op=IoOp.READ, pid="p", sync=None):
+    return BlockRequest(lba, n, op, pid, sync=sync)
+
+
+def dispatch_all(sched, start=0.0, step=0.0):
+    """Dispatch everything, advancing time past holds; returns lbas."""
+    out = []
+    t = start
+    for _ in range(200):
+        d = sched.next_request(t)
+        if d.request is not None:
+            out.append(d.request.lba)
+            t += step
+        elif d.wait_until is not None and d.wait_until > t:
+            t = d.wait_until
+        else:
+            break
+    return out
+
+
+ARRIVALS = [  # (lba, op, pid)
+    (500, IoOp.READ, "a"),
+    (100, IoOp.READ, "b"),
+    (900, IoOp.WRITE, "wb"),
+    (300, IoOp.READ, "a"),
+    (700, IoOp.WRITE, "wb"),
+    (200, IoOp.READ, "b"),
+]
+
+
+def load(sched, t0=0.0):
+    for i, (lba, op, pid) in enumerate(ARRIVALS):
+        sched.add_request(req(lba, op=op, pid=pid), t0 + i * 0.001)
+
+
+def test_noop_golden_fifo():
+    sched = NoopScheduler()
+    load(sched)
+    assert dispatch_all(sched) == [500, 100, 900, 300, 700, 200]
+
+
+def test_deadline_golden_reads_sorted_then_writes():
+    sched = DeadlineScheduler(params=DeadlineParams(fifo_batch=16))
+    load(sched)
+    # Reads batch in ascending LBA from position 0; writes afterwards.
+    assert dispatch_all(sched) == [100, 200, 300, 500, 700, 900]
+
+
+def test_deadline_golden_write_batch_after_starvation():
+    sched = DeadlineScheduler(
+        params=DeadlineParams(fifo_batch=1, writes_starved=1)
+    )
+    load(sched)
+    order = dispatch_all(sched)
+    # batch1: read (elevator from 0 -> 100); batch2 would be read but
+    # starved counter forces a write batch, etc.
+    assert order[0] == 100
+    assert order[1] in (700, 900)
+    assert sorted(order) == [100, 200, 300, 500, 700, 900]
+
+
+def test_cfq_golden_per_process_slices():
+    sched = CfqScheduler(params=CfqParams(slice_sync=10.0, slice_idle=0.0))
+    load(sched)
+    order = dispatch_all(sched)
+    # First sync process in round-robin order is "a" (first arrival);
+    # its queue is served in elevator order from LBA 0 (300 then 500),
+    # then b's (wrapping to 100, 200), then the shared async queue.
+    assert order == [300, 500, 100, 200, 700, 900]
+
+
+def test_cfq_golden_async_before_sync_when_starving():
+    sched = CfqScheduler(params=CfqParams(async_max_wait=0.1))
+    load(sched, t0=0.0)
+    # At t=10 the async writes have starved far past async_max_wait.
+    d = sched.next_request(10.0)
+    assert d.request.op is IoOp.WRITE
+
+
+def test_anticipatory_golden_sticks_with_process():
+    sched = AnticipatoryScheduler(
+        params=AnticipatoryParams(antic_expire=0.01, close_sectors=8)
+    )
+    load(sched)
+    # Elevator starts at a's... first selection: read batch from LBA 0.
+    first = sched.next_request(0.01)
+    assert first.request.lba == 100  # ascending from 0
+    sched.on_complete(first.request, 0.02)
+    # b (pid of 100) has another read queued at 200: anticipation for b
+    # finds it immediately, bypassing a's 300/500.
+    second = sched.next_request(0.02)
+    assert second.request.lba == 200
+    assert second.request.process_id == "b"
+
+
+def test_all_schedulers_complete_the_same_multiset():
+    for factory in (NoopScheduler, DeadlineScheduler, AnticipatoryScheduler,
+                    CfqScheduler):
+        sched = factory()
+        load(sched)
+        assert sorted(dispatch_all(sched)) == [100, 200, 300, 500, 700, 900]

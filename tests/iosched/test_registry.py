@@ -1,0 +1,50 @@
+"""Unit tests for the scheduler registry."""
+
+import pytest
+
+from repro.iosched import (
+    ABBREVIATIONS,
+    SCHEDULER_NAMES,
+    SCHEDULERS,
+    abbrev,
+    make_scheduler,
+    resolve_name,
+    scheduler_factory,
+)
+
+
+def test_all_four_registered():
+    assert set(SCHEDULERS) == {"noop", "deadline", "anticipatory", "cfq"}
+    assert set(SCHEDULER_NAMES) == set(SCHEDULERS)
+
+
+def test_resolve_aliases():
+    assert resolve_name("AS") == "anticipatory"
+    assert resolve_name("dl") == "deadline"
+    assert resolve_name("NP") == "noop"
+    assert resolve_name(" CFQ ") == "cfq"
+
+
+def test_resolve_unknown_raises():
+    with pytest.raises(KeyError):
+        resolve_name("bfq")
+
+
+def test_abbreviations_match_paper():
+    assert abbrev("cfq") == "CFQ"
+    assert abbrev("deadline") == "DL"
+    assert abbrev("anticipatory") == "AS"
+    assert abbrev("noop") == "NP"
+    assert set(ABBREVIATIONS.values()) == {"CFQ", "DL", "AS", "NP"}
+
+
+def test_make_scheduler_returns_right_class():
+    for name, cls in SCHEDULERS.items():
+        assert isinstance(make_scheduler(name), cls)
+
+
+def test_factory_builds_fresh_instances():
+    f = scheduler_factory("as")
+    a, b = f(), f()
+    assert a is not b
+    assert a.name == "anticipatory"

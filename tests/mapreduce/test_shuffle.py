@@ -1,0 +1,105 @@
+"""Unit tests for the shuffle service and TaskPool."""
+
+import pytest
+
+from repro.mapreduce import MapOutput, ShuffleService, TaskPool
+from repro.mapreduce.map_task import MapTask
+from repro.hdfs.blocks import HdfsBlock
+from repro.sim import Environment
+
+
+def output(map_id=0, vm="v0", total=320.0):
+    return MapOutput(map_id=map_id, vm_id=vm, file=None, total_bytes=total)
+
+
+def test_partitioning_uniform():
+    o = output(total=320.0)
+    assert o.partition_bytes(32) == pytest.approx(10.0)
+    assert o.partition_offset(0, 32) == 0
+    assert o.partition_offset(16, 32) == 160
+
+
+def test_partition_validation():
+    o = output()
+    with pytest.raises(ValueError):
+        o.partition_bytes(0)
+    with pytest.raises(ValueError):
+        o.partition_offset(5, 4)
+
+
+def test_register_fans_out_to_all_reducers():
+    env = Environment()
+    svc = ShuffleService(env, n_reducers=3, n_maps=2)
+    svc.register(output(map_id=0))
+    env.run()
+    assert all(len(q.items) == 1 for q in svc.queues)
+    assert svc.registered == 1
+
+
+def test_register_over_maps_raises():
+    env = Environment()
+    svc = ShuffleService(env, n_reducers=1, n_maps=1)
+    svc.register(output(0))
+    with pytest.raises(RuntimeError):
+        svc.register(output(1))
+
+
+def test_shuffle_done_after_all_fetches():
+    env = Environment()
+    svc = ShuffleService(env, n_reducers=2, n_maps=2)
+    assert svc.fetches_remaining == 4
+    for _ in range(3):
+        svc.note_fetch_complete(10.0)
+        assert not svc.shuffle_done.triggered
+    svc.note_fetch_complete(10.0)
+    assert svc.shuffle_done.triggered
+    assert svc.shuffled_bytes == pytest.approx(40.0)
+
+
+def test_invalid_shuffle_params():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ShuffleService(env, n_reducers=0, n_maps=1)
+
+
+# -- TaskPool ---------------------------------------------------------------------
+
+
+def tasks_for(counts):
+    tasks = []
+    tid = 0
+    for vm, n in counts.items():
+        for _ in range(n):
+            block = HdfsBlock(path="in", index=tid, size_bytes=1, replicas=[vm])
+            tasks.append(MapTask(task_id=tid, block=block, vm_id=vm))
+            tid += 1
+    return tasks
+
+
+def test_taskpool_local_first():
+    pool = TaskPool(tasks_for({"a": 2, "b": 2}))
+    t = pool.take("a")
+    assert t.vm_id == "a"
+    assert pool.remaining() == 3
+
+
+def test_taskpool_no_steal_below_threshold():
+    pool = TaskPool(tasks_for({"a": 0, "b": 1}), steal_threshold=2)
+    assert pool.take("a") is None  # b's single task is left alone
+    assert pool.remaining() == 1
+
+
+def test_taskpool_steals_from_backlogged_vm():
+    pool = TaskPool(tasks_for({"b": 5}), steal_threshold=2)
+    stolen = pool.take("a")
+    assert stolen is not None
+    assert stolen.vm_id == "a"  # rebound to the thief
+    assert not stolen.is_data_local
+    assert pool.stolen == 1
+
+
+def test_taskpool_exhaustion():
+    pool = TaskPool(tasks_for({"a": 1}))
+    assert pool.take("a") is not None
+    assert pool.take("a") is None
+    assert pool.remaining() == 0

@@ -1,0 +1,100 @@
+"""Property-based tests: filesystem ranges, CDFs, solutions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Solution
+from repro.disk import SECTOR_SIZE
+from repro.metrics import Cdf, ProgressTimeline
+from repro.virt import GuestFilesystem, SchedulerPair
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4000),     # file sectors
+    st.integers(min_value=0, max_value=4000),     # offset sectors
+    st.integers(min_value=0, max_value=4000),     # length sectors
+    st.floats(min_value=0.0, max_value=0.9),      # fragmentation
+    st.integers(min_value=0, max_value=10_000),   # fs seed
+)
+def test_file_ranges_cover_exactly_the_request(size_s, off_s, len_s, frag, seed):
+    import numpy as np
+
+    fs = GuestFilesystem(
+        total_sectors=10_000_000,
+        fragmentation=frag,
+        rng=np.random.default_rng(seed),
+    )
+    f = fs.create("f", size_s * SECTOR_SIZE)
+    offset = off_s * SECTOR_SIZE
+    length = len_s * SECTOR_SIZE
+    if length == 0:
+        assert list(f.ranges(offset, length)) == []
+        return
+    if offset + length > f.size_bytes:
+        with pytest.raises(ValueError):
+            list(f.ranges(offset, length))
+        return
+    runs = list(f.ranges(offset, length))
+    # Total sectors match the (sector-rounded) request.
+    assert sum(n for _, n in runs) == len_s
+    # Runs fall inside allocated extents and don't overlap each other.
+    extents = [(e.lba, e.end_lba) for e in f.extents]
+    for lba, n in runs:
+        assert n > 0
+        assert any(lo <= lba and lba + n <= hi for lo, hi in extents)
+    spans = sorted((lba, lba + n) for lba, n in runs)
+    for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+        assert b1 <= a2
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=100))
+def test_cdf_percentiles_monotone(samples):
+    cdf = Cdf.of(samples)
+    qs = [0, 25, 50, 75, 100]
+    values = [cdf.percentile(q) for q in qs]
+    assert values == sorted(values)
+    # np.mean can land 1 ulp outside [min, max] for identical samples.
+    tol = 1e-9 * (1 + abs(cdf.maximum))
+    assert cdf.minimum - tol <= cdf.mean <= cdf.maximum + tol
+    assert cdf.prob_at_most(cdf.maximum) == pytest.approx(1.0)
+    assert 0 <= cdf.prob_at_most(cdf.minimum - 1) <= cdf.prob_at_most(cdf.maximum)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(
+    st.tuples(st.floats(min_value=0, max_value=100),
+              st.floats(min_value=0, max_value=1)),
+    min_size=1, max_size=50,
+))
+def test_progress_timeline_lookup_consistency(points):
+    # Make progress monotone by sorting fractions against times.
+    times = sorted(t for t, _ in points)
+    fracs = sorted(f for _, f in points)
+    timeline = ProgressTimeline.of(list(zip(times, fracs)))
+    for t, f in zip(times, fracs):
+        assert timeline.fraction_at_time(t) >= f - 1e-12
+        assert timeline.time_at_fraction(f) <= t + 1e-12
+
+
+PAIRS = st.sampled_from([
+    SchedulerPair("cfq", "cfq"),
+    SchedulerPair("anticipatory", "deadline"),
+    SchedulerPair("deadline", "noop"),
+    SchedulerPair("noop", "anticipatory"),
+])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(PAIRS, min_size=1, max_size=6))
+def test_solution_of_roundtrips_effective(pairs):
+    s = Solution.of(pairs)
+    assert s.effective() == list(pairs)
+    # Normalisation is idempotent.
+    assert Solution.of(s.effective()) == s
+    # Switch count equals the number of changes in the effective plan.
+    changes = sum(1 for a, b in zip(pairs, pairs[1:]) if a != b)
+    assert s.n_switches == changes

@@ -1,0 +1,148 @@
+"""Property-based tests: every elevator conserves and orders requests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk import BlockRequest, IoOp
+from repro.iosched import (
+    AnticipatoryScheduler,
+    CfqScheduler,
+    DeadlineScheduler,
+    NoopScheduler,
+    SortedRequestList,
+)
+
+SCHEDULER_FACTORIES = [
+    NoopScheduler,
+    DeadlineScheduler,
+    AnticipatoryScheduler,
+    CfqScheduler,
+]
+
+
+request_strategy = st.tuples(
+    st.integers(min_value=0, max_value=10_000_000),  # lba
+    st.integers(min_value=1, max_value=1024),        # nsectors
+    st.sampled_from([IoOp.READ, IoOp.WRITE]),
+    st.sampled_from(["p1", "p2", "p3"]),
+    st.floats(min_value=0.0, max_value=10.0),        # arrival time offset
+)
+
+
+def drain_via_dispatch(sched, horizon=10_000.0):
+    """Dispatch everything, advancing past any idle holds."""
+    out = []
+    t = horizon  # far future: all holds expired, all batches rotate
+    guard = 10_000
+    while guard:
+        guard -= 1
+        d = sched.next_request(t)
+        if d.request is not None:
+            out.append(d.request)
+        elif d.wait_until is not None and d.wait_until > t:
+            t = d.wait_until
+        else:
+            break
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(request_strategy, min_size=0, max_size=60),
+       st.sampled_from(SCHEDULER_FACTORIES))
+def test_conservation_no_request_lost_or_duplicated(reqs, factory):
+    """Sectors in == sectors out, for every scheduler and any arrivals."""
+    sched = factory()
+    arrivals = sorted(reqs, key=lambda r: r[4])
+    total_in = 0
+    for lba, n, op, pid, t in arrivals:
+        sched.add_request(BlockRequest(lba, n, op, pid), t)
+        total_in += n
+    dispatched = drain_via_dispatch(sched)
+    total_out = sum(r.nsectors for r in dispatched)
+    assert total_out == total_in
+    assert sched.pending == 0
+    # No request id appears twice (merged children folded into parents).
+    seen = set()
+    for r in dispatched:
+        for rid in [r.rid] + [c.rid for c in r.merged_children]:
+            assert rid not in seen
+            seen.add(rid)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(request_strategy, min_size=1, max_size=60),
+       st.sampled_from(SCHEDULER_FACTORIES))
+def test_drain_returns_exactly_whats_queued(reqs, factory):
+    sched = factory()
+    queued = 0
+    for lba, n, op, pid, t in sorted(reqs, key=lambda r: r[4]):
+        merged = sched.add_request(BlockRequest(lba, n, op, pid), t)
+        if not merged:
+            queued += 1
+    drained = sched.drain()
+    assert len(drained) == queued
+    assert sched.pending == 0
+    assert sched.next_request(0.0).idle
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(request_strategy, min_size=1, max_size=60),
+       st.sampled_from(SCHEDULER_FACTORIES))
+def test_merges_only_adjacent_same_class(reqs, factory):
+    """Any merged request must cover a contiguous LBA run of one class."""
+    sched = factory()
+    for lba, n, op, pid, t in sorted(reqs, key=lambda r: r[4]):
+        sched.add_request(BlockRequest(lba, n, op, pid), t)
+    for r in drain_via_dispatch(sched):
+        if r.merged_children:
+            covered = r.nsectors
+            parts = sum(c.nsectors for c in r.merged_children)
+            assert parts < covered  # parent kept its own sectors too
+            assert all(c.op is r.op for c in r.merged_children)
+            assert r.nsectors <= sched.max_sectors
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.integers(min_value=0, max_value=1_000_000), min_size=0, max_size=80
+))
+def test_sorted_list_iterates_in_lba_order(lbas):
+    s = SortedRequestList()
+    reqs = [BlockRequest(lba, 1, IoOp.READ, "p") for lba in lbas]
+    for r in reqs:
+        s.add(r)
+    out = [r.lba for r in s]
+    assert out == sorted(lbas)
+    assert len(s) == len(lbas)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=100_000), min_size=1,
+             max_size=50),
+    st.integers(min_value=0, max_value=100_000),
+)
+def test_sorted_list_first_at_or_after_is_correct(lbas, probe):
+    s = SortedRequestList()
+    for lba in lbas:
+        s.add(BlockRequest(lba, 1, IoOp.READ, "p"))
+    hit = s.first_at_or_after(probe, wrap=False)
+    expected = min((l for l in lbas if l >= probe), default=None)
+    assert (hit.lba if hit else None) == expected
+    wrapped = s.first_at_or_after(probe, wrap=True)
+    assert wrapped.lba == (expected if expected is not None else min(lbas))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=100_000), min_size=1,
+             max_size=50),
+    st.integers(min_value=0, max_value=100_000),
+)
+def test_sorted_list_closest_to_is_correct(lbas, probe):
+    s = SortedRequestList()
+    for lba in lbas:
+        s.add(BlockRequest(lba, 1, IoOp.READ, "p"))
+    hit = s.closest_to(probe)
+    best = min(abs(l - probe) for l in lbas)
+    assert abs(hit.lba - probe) == best

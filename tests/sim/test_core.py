@@ -1,0 +1,90 @@
+"""Unit tests for the Environment run loop."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment
+
+
+def test_now_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(10.0).now == 10.0
+
+
+def test_run_until_time():
+    env = Environment()
+    fired = []
+    env.timeout(1).callbacks.append(lambda ev: fired.append(1))
+    env.timeout(5).callbacks.append(lambda ev: fired.append(5))
+    env.run(until=3)
+    assert env.now == pytest.approx(3)
+    assert fired == [1]
+    env.run(until=10)
+    assert fired == [1, 5]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+        return "result"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "result"
+    assert env.now == pytest.approx(2)
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=5)
+    with pytest.raises(ValueError):
+        env.run(until=1)
+
+
+def test_run_drains_queue_when_no_until():
+    env = Environment()
+    env.timeout(1)
+    env.timeout(2)
+    env.run()
+    assert env.now == pytest.approx(2)
+
+
+def test_step_on_empty_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_peek():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(4)
+    env.timeout(2)
+    assert env.peek() == pytest.approx(2)
+
+
+def test_run_until_never_triggering_event_raises():
+    env = Environment()
+    ev = env.event()
+    env.timeout(1)
+    with pytest.raises(RuntimeError, match="ran out of events"):
+        env.run(until=ev)
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 7
+
+    p = env.process(proc(env))
+    env.run()
+    assert env.run(until=p) == 7
+
+
+def test_schedule_negative_delay_rejected():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(ValueError):
+        env.schedule(ev, delay=-0.5)

@@ -1,0 +1,161 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, Timeout
+
+
+def test_event_starts_pending():
+    env = Environment()
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_succeed_sets_value_and_processes():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(42)
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == 42
+    assert not ev.processed
+    env.run()
+    assert ev.processed
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError("x"))
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_unhandled_failure_raises_at_step():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_defused_failure_is_silent():
+    env = Environment()
+    ev = env.event()
+    ev.fail(ValueError("boom"))
+    ev.defuse()
+    env.run()  # must not raise
+    assert not ev.ok
+
+
+def test_timeout_fires_at_right_time():
+    env = Environment()
+    t = env.timeout(2.5, value="hi")
+    env.run()
+    assert env.now == pytest.approx(2.5)
+    assert t.value == "hi"
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_timeouts_order_deterministically_at_same_time():
+    env = Environment()
+    order = []
+    for i in range(5):
+        t = env.timeout(1.0)
+        t.callbacks.append(lambda ev, i=i: order.append(i))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+    a, b = env.timeout(1, "a"), env.timeout(3, "b")
+    cond = AllOf(env, [a, b])
+    env.run(cond)
+    assert env.now == pytest.approx(3)
+    assert list(cond.value.values()) == ["a", "b"]
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+    a, b = env.timeout(1, "a"), env.timeout(3, "b")
+    cond = AnyOf(env, [a, b])
+    env.run(cond)
+    assert env.now == pytest.approx(1)
+    assert cond.value == {a: "a"}
+
+
+def test_condition_operators():
+    env = Environment()
+    a, b = env.timeout(1), env.timeout(2)
+    both = a & b
+    either = a | b
+    env.run()
+    assert both.triggered and either.triggered
+
+
+def test_allof_with_already_processed_events():
+    env = Environment()
+    a = env.timeout(1, "a")
+    env.run()
+    b = env.timeout(1, "b")
+    cond = AllOf(env, [a, b])
+    env.run(cond)
+    assert set(cond.value.values()) == {"a", "b"}
+
+
+def test_allof_empty_triggers_immediately():
+    env = Environment()
+    cond = AllOf(env, [])
+    assert cond.triggered
+
+
+def test_condition_propagates_failure():
+    env = Environment()
+
+    def failer(env):
+        yield env.timeout(1)
+        raise RuntimeError("inner")
+
+    p = env.process(failer(env))
+    t = env.timeout(5)
+    cond = AllOf(env, [p, t])
+    with pytest.raises(RuntimeError, match="inner"):
+        env.run(cond)
+
+
+def test_mixing_environments_rejected():
+    env1, env2 = Environment(), Environment()
+    a = env1.timeout(1)
+    b = Timeout(env2, 1)
+    with pytest.raises(ValueError):
+        AllOf(env1, [a, b])
+
+
+def test_event_trigger_copies_outcome():
+    env = Environment()
+    src = env.event()
+    dst = env.event()
+    src.succeed("payload")
+    dst.trigger(src)
+    assert dst.value == "payload"
+    env.run()

@@ -1,0 +1,162 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    grants = []
+
+    def user(env, res, name, hold):
+        with res.request() as req:
+            yield req
+            grants.append((env.now, name, "in"))
+            yield env.timeout(hold)
+        grants.append((env.now, name, "out"))
+
+    for i in range(3):
+        env.process(user(env, res, i, 2))
+    env.run()
+    # first two enter at t=0, third must wait for a release at t=2
+    assert (0.0, 0, "in") in grants and (0.0, 1, "in") in grants
+    assert (2.0, 2, "in") in grants
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_release_without_hold_rejected():
+    env = Environment()
+    res = Resource(env)
+    req = res.request()
+    env.run()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert res.count == 1
+    assert res.queue_len == 1
+    res.release(r1)
+    assert res.count == 1  # r2 promoted
+    assert res.queue_len == 0
+    res.release(r2)
+    assert res.count == 0
+
+
+def test_request_cancel_removes_from_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    r2.cancel()
+    res.release(r1)
+    assert not r2.triggered
+    assert res.count == 0
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    g1, g2 = store.get(), store.get()
+    env.run()
+    assert g1.value == "a"
+    assert g2.value == "b"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    result = []
+
+    def getter(env, store):
+        item = yield store.get()
+        result.append((env.now, item))
+
+    def putter(env, store):
+        yield env.timeout(3)
+        yield store.put("late")
+
+    env.process(getter(env, store))
+    env.process(putter(env, store))
+    env.run()
+    assert result == [(3.0, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env, store):
+        for i in range(2):
+            yield store.put(i)
+            times.append(env.now)
+
+    def consumer(env, store):
+        yield env.timeout(5)
+        yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert times == [0.0, 5.0]
+
+
+def test_store_filter_get():
+    env = Environment()
+    store = Store(env)
+    for i in range(5):
+        store.put(i)
+    g = store.get(filter=lambda x: x % 2 == 1)
+    env.run()
+    assert g.value == 1
+    assert 1 not in store.items
+
+
+def test_store_filter_get_waits_for_match():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    got = []
+
+    def getter(env, store):
+        item = yield store.get(filter=lambda v: v == "y")
+        got.append((env.now, item))
+
+    def putter(env, store):
+        yield env.timeout(2)
+        yield store.put("y")
+
+    env.process(getter(env, store))
+    env.process(putter(env, store))
+    env.run()
+    assert got == [(2.0, "y")]
+    assert store.items == ["x"]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert len(store) == 2
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)

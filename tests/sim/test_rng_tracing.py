@@ -1,0 +1,96 @@
+"""Unit tests for RNG streams and the trace bus."""
+
+import pytest
+
+from repro.sim import IntervalSampler, RngStreams, TraceBus
+
+
+def test_same_name_same_stream_object():
+    rngs = RngStreams(1)
+    assert rngs.stream("a") is rngs.stream("a")
+
+
+def test_streams_reproducible_across_factories():
+    a = RngStreams(42).stream("disk").random(5)
+    b = RngStreams(42).stream("disk").random(5)
+    assert list(a) == list(b)
+
+
+def test_different_names_differ():
+    rngs = RngStreams(42)
+    a = rngs.stream("disk").random(5)
+    b = rngs.stream("net").random(5)
+    assert list(a) != list(b)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("disk").random(5)
+    b = RngStreams(2).stream("disk").random(5)
+    assert list(a) != list(b)
+
+
+def test_spawn_is_deterministic_and_independent():
+    r1 = RngStreams(7).spawn("host0").stream("s").random(3)
+    r2 = RngStreams(7).spawn("host0").stream("s").random(3)
+    r3 = RngStreams(7).spawn("host1").stream("s").random(3)
+    assert list(r1) == list(r2)
+    assert list(r1) != list(r3)
+
+
+def test_trace_subscribe_and_publish():
+    bus = TraceBus()
+    got = []
+    bus.subscribe("x", lambda rec: got.append(rec))
+    bus.publish(1.0, "x", a=1)
+    bus.publish(2.0, "y", b=2)  # nobody listens → dropped
+    assert len(got) == 1
+    assert got[0].time == 1.0
+    assert got[0].payload == {"a": 1}
+
+
+def test_trace_record_topic_keeps_records():
+    bus = TraceBus()
+    bus.record_topic("x")
+    bus.publish(1.0, "x", v=1)
+    bus.publish(2.0, "x", v=2)
+    recs = bus.recorded("x")
+    assert [r.payload["v"] for r in recs] == [1, 2]
+
+
+def test_trace_unrecorded_topic_not_kept():
+    bus = TraceBus()
+    bus.record_topic("x")
+    bus.subscribe("y", lambda rec: None)
+    bus.publish(1.0, "y", v=1)
+    assert bus.recorded("y") == []
+
+
+def test_interval_sampler_bins():
+    s = IntervalSampler(interval=1.0)
+    s.add(0.1, 10)
+    s.add(0.9, 5)
+    s.add(1.5, 20)
+    s.add(3.2, 1)
+    assert s.series() == [15, 20, 0, 1]
+
+
+def test_interval_sampler_rates():
+    s = IntervalSampler(interval=2.0)
+    s.add(0.5, 10)
+    s.add(1.5, 10)
+    # end=2.0 closes the [0,2) bin and opens a final empty one.
+    assert s.rates(end=2.0) == [pytest.approx(10.0), 0.0]
+
+
+def test_interval_sampler_empty():
+    assert IntervalSampler().series() == []
+    assert IntervalSampler().rates() == []
+
+
+def test_interval_sampler_window():
+    s = IntervalSampler(interval=1.0)
+    for t in [0.5, 1.5, 2.5, 3.5]:
+        s.add(t, 1)
+    # 0.5 precedes the window and 3.5 follows it; 3.0 lands in a final
+    # boundary bin that stays empty here.
+    assert s.series(start=1.0, end=3.0) == [1, 1, 0]

@@ -1,0 +1,120 @@
+"""Unit tests for the guest filesystem."""
+
+import numpy as np
+import pytest
+
+from repro.disk import SECTOR_SIZE
+from repro.virt import GuestFilesystem
+
+
+def test_create_contiguous_file():
+    fs = GuestFilesystem(total_sectors=10_000, fragmentation=0.0)
+    f = fs.create("a", 100 * SECTOR_SIZE)
+    assert len(f.extents) == 1
+    assert f.extents[0].nsectors == 100
+    assert f.allocated_bytes == 100 * SECTOR_SIZE
+
+
+def test_size_rounds_up_to_sector():
+    fs = GuestFilesystem(total_sectors=10_000)
+    f = fs.create("a", SECTOR_SIZE + 1)
+    assert f.extents[0].nsectors == 2
+    assert f.size_bytes == SECTOR_SIZE + 1
+
+
+def test_files_do_not_overlap():
+    fs = GuestFilesystem(total_sectors=100_000, fragmentation=0.0)
+    files = [fs.create(f"f{i}", 1000 * SECTOR_SIZE) for i in range(5)]
+    spans = sorted(
+        (e.lba, e.end_lba) for f in files for e in f.extents
+    )
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+def test_duplicate_name_rejected():
+    fs = GuestFilesystem(total_sectors=10_000)
+    fs.create("a", 100)
+    with pytest.raises(FileExistsError):
+        fs.create("a", 100)
+
+
+def test_create_or_replace():
+    fs = GuestFilesystem(total_sectors=100_000)
+    f1 = fs.create_or_replace("a", 100)
+    f2 = fs.create_or_replace("a", 200)
+    assert fs.lookup("a") is f2
+    assert f2.size_bytes == 200
+
+
+def test_delete():
+    fs = GuestFilesystem(total_sectors=10_000)
+    fs.create("a", 100)
+    fs.delete("a")
+    assert fs.lookup("a") is None
+    with pytest.raises(FileNotFoundError):
+        fs.delete("a")
+
+
+def test_full_filesystem_raises():
+    fs = GuestFilesystem(total_sectors=100)
+    with pytest.raises(OSError):
+        fs.create("big", 101 * SECTOR_SIZE)
+
+
+def test_fragmented_allocation_splits_large_files():
+    rng = np.random.default_rng(0)
+    fs = GuestFilesystem(total_sectors=10_000_000, fragmentation=0.8, rng=rng)
+    f = fs.create("big", 8000 * SECTOR_SIZE)
+    assert len(f.extents) >= 2
+    assert sum(e.nsectors for e in f.extents) == 8000
+
+
+def test_ranges_single_extent():
+    fs = GuestFilesystem(total_sectors=10_000, fragmentation=0.0)
+    f = fs.create("a", 1000 * SECTOR_SIZE)
+    base = f.extents[0].lba
+    runs = list(f.ranges(0, 10 * SECTOR_SIZE))
+    assert runs == [(base, 10)]
+    runs = list(f.ranges(5 * SECTOR_SIZE, 10 * SECTOR_SIZE))
+    assert runs == [(base + 5, 10)]
+
+
+def test_ranges_cross_extents():
+    fs = GuestFilesystem(total_sectors=100_000, fragmentation=0.0)
+    f = fs.create("a", 10 * SECTOR_SIZE)
+    # Manufacture a second extent manually to control the split.
+    from repro.virt import Extent
+
+    f.extents = [Extent(0, 5), Extent(1000, 5)]
+    runs = list(f.ranges(3 * SECTOR_SIZE, 4 * SECTOR_SIZE))
+    assert runs == [(3, 2), (1000, 2)]
+
+
+def test_ranges_sub_sector_rounding():
+    fs = GuestFilesystem(total_sectors=10_000, fragmentation=0.0)
+    f = fs.create("a", 10 * SECTOR_SIZE)
+    base = f.extents[0].lba
+    # 100 bytes starting at byte 200 → sectors 0 and 1 (rounded outward).
+    runs = list(f.ranges(200, 400))
+    assert runs == [(base, 2)]
+
+
+def test_ranges_past_end_raises():
+    fs = GuestFilesystem(total_sectors=10_000, fragmentation=0.0)
+    f = fs.create("a", 10 * SECTOR_SIZE)
+    with pytest.raises(ValueError):
+        list(f.ranges(0, 11 * SECTOR_SIZE))
+
+
+def test_ranges_zero_length_empty():
+    fs = GuestFilesystem(total_sectors=10_000)
+    f = fs.create("a", 10 * SECTOR_SIZE)
+    assert list(f.ranges(0, 0)) == []
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        GuestFilesystem(total_sectors=0)
+    with pytest.raises(ValueError):
+        GuestFilesystem(total_sectors=10, fragmentation=1.0)

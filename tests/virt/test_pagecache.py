@@ -1,0 +1,210 @@
+"""Integration tests for the page cache and writeback daemon."""
+
+import numpy as np
+import pytest
+
+from repro.disk import DiskDevice, IoOp, ServiceTimeModel
+from repro.iosched import NoopScheduler
+from repro.sim import Environment
+from repro.virt import (
+    GuestFilesystem,
+    PageCache,
+    PageCacheParams,
+    VirtualBlockDevice,
+)
+
+MB = 1024 * 1024
+
+
+def make_cache(env, **param_overrides):
+    params = PageCacheParams(**{
+        "capacity_bytes": 64 * MB,
+        "dirty_background_bytes": 8 * MB,
+        "dirty_limit_bytes": 32 * MB,
+        **param_overrides,
+    })
+    model = ServiceTimeModel(rng=np.random.default_rng(1))
+    dom0 = DiskDevice(env, NoopScheduler(), model)
+    vdisk = VirtualBlockDevice(env, NoopScheduler(), dom0, "vm0", 0, 200_000_000)
+    fs = GuestFilesystem(200_000_000, fragmentation=0.0)
+    cache = PageCache(env, vdisk, params)
+    return cache, vdisk, fs
+
+
+def run_proc(env, gen):
+    p = env.process(gen)
+    env.run(until=p)
+    return p
+
+
+def test_cold_read_hits_disk():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("data", 4 * MB)
+    run_proc(env, cache.read(f, 0, 4 * MB, "r"))
+    assert cache.misses > 0
+    assert cache.bytes_read_disk == 4 * MB
+    assert vdisk.stats.read_bytes == 4 * MB
+
+
+def test_warm_read_is_free():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("data", 4 * MB)
+    run_proc(env, cache.read(f, 0, 4 * MB, "r"))
+    before = vdisk.stats.read_bytes
+    run_proc(env, cache.read(f, 0, 4 * MB, "r"))
+    assert vdisk.stats.read_bytes == before  # all hits
+    assert cache.hits >= 4
+
+
+def test_buffered_write_is_instant_no_io():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("out", 4 * MB)
+    t0 = env.now
+    run_proc(env, cache.write(f, 0, 4 * MB, "w"))
+    assert env.now == t0  # absorbed by the cache
+    assert cache.dirty_bytes == 4 * MB
+    assert vdisk.stats.write_bytes == 0
+
+
+def test_writeback_kicks_past_background_threshold():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("out", 16 * MB)
+    run_proc(env, cache.write(f, 0, 16 * MB, "w"))  # > 8 MB background
+    env.run()  # let the flusher work
+    assert vdisk.stats.write_bytes > 0
+    assert cache.dirty_bytes <= 8 * MB
+
+
+def test_write_after_cache_read_back_is_hit():
+    """Spill-then-merge: recently written data reads back with no I/O."""
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("spill", 4 * MB)
+    run_proc(env, cache.write(f, 0, 4 * MB, "w"))
+    before = vdisk.stats.read_bytes
+    run_proc(env, cache.read(f, 0, 4 * MB, "r"))
+    assert vdisk.stats.read_bytes == before
+
+
+def test_dirty_throttling_blocks_writer():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("big", 64 * MB)
+
+    def writer(cache, f):
+        # Way past dirty_limit (32 MB): must block on writeback.
+        yield from cache.write(f, 0, 48 * MB, "w")
+        yield from cache.write(f, 48 * MB, 16 * MB, "w")
+
+    run_proc(env, writer(cache, f))
+    assert cache.throttle_events > 0
+    assert env.now > 0  # writer did not finish instantly
+
+
+def test_fsync_flushes_synchronously():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("log", 4 * MB)
+    run_proc(env, cache.write(f, 0, 4 * MB, "w"))
+
+    def do_fsync(cache, f):
+        yield from cache.fsync(f, "w")
+
+    run_proc(env, do_fsync(cache, f))
+    assert cache.dirty_bytes == 0
+    assert vdisk.stats.write_bytes >= 4 * MB
+    # fsync writes are synchronous at the block layer.
+    assert env.now > 0
+
+
+def test_sync_write_bypasses_buffering():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("direct", 2 * MB)
+    run_proc(env, cache.write(f, 0, 2 * MB, "w", sync=True))
+    assert cache.dirty_bytes == 0
+    assert vdisk.stats.write_bytes == 2 * MB
+    assert env.now > 0
+
+
+def test_lru_eviction_bounds_residency():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env, capacity_bytes=8 * MB)
+    f = fs.create("stream", 32 * MB)
+    run_proc(env, cache.read(f, 0, 32 * MB, "r"))
+    assert cache.resident_bytes <= 8 * MB
+    # Re-reading the evicted head hits disk again.
+    before = vdisk.stats.read_bytes
+    run_proc(env, cache.read(f, 0, 1 * MB, "r"))
+    env.run()
+    assert vdisk.stats.read_bytes > before
+
+
+def test_evicting_dirty_chunk_forces_writeback():
+    env = Environment()
+    cache, vdisk, fs = make_cache(
+        env,
+        capacity_bytes=4 * MB,
+        dirty_background_bytes=64 * MB,  # never kicks on threshold
+        dirty_limit_bytes=128 * MB,
+    )
+    f = fs.create("out", 16 * MB)
+    run_proc(env, cache.write(f, 0, 16 * MB, "w"))
+    env.run()
+    # Evictions forced most chunks out despite thresholds never firing.
+    assert vdisk.stats.write_bytes >= 8 * MB
+
+
+def test_flush_all_clears_dirty():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("out", 6 * MB)
+    run_proc(env, cache.write(f, 0, 6 * MB, "w"))
+
+    def flush(cache):
+        yield from cache.flush_all()
+
+    run_proc(env, flush(cache))
+    assert cache.dirty_bytes == 0
+    assert vdisk.stats.write_bytes >= 6 * MB
+
+
+def test_read_past_eof_rejected():
+    env = Environment()
+    cache, _, fs = make_cache(env)
+    f = fs.create("small", 1 * MB)
+    with pytest.raises(ValueError):
+        run_proc(env, cache.read(f, 0, 2 * MB, "r"))
+
+
+def test_reads_are_sync_writes_are_async_at_block_layer():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("data", 2 * MB)
+    classes = []
+    orig = vdisk.submit
+
+    def spy(request):
+        classes.append((request.op, request.sync))
+        return orig(request)
+
+    vdisk.submit = spy
+    run_proc(env, cache.read(f, 0, 2 * MB, "r"))
+    g = fs.create("out", 16 * MB)
+    run_proc(env, cache.write(g, 0, 16 * MB, "w"))
+    env.run()
+    read_classes = {c for c in classes if c[0] is IoOp.READ}
+    write_classes = {c for c in classes if c[0] is IoOp.WRITE}
+    assert read_classes == {(IoOp.READ, True)}
+    assert write_classes == {(IoOp.WRITE, False)}
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ValueError):
+        PageCacheParams(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        PageCacheParams(dirty_background_bytes=10 * MB, dirty_limit_bytes=1 * MB)

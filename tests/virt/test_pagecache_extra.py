@@ -1,0 +1,97 @@
+"""Additional page-cache behaviours: drop, partial chunks, stats."""
+
+import numpy as np
+import pytest
+
+from repro.disk import DiskDevice, ServiceTimeModel
+from repro.iosched import NoopScheduler
+from repro.sim import Environment
+from repro.virt import (
+    GuestFilesystem,
+    PageCache,
+    PageCacheParams,
+    VirtualBlockDevice,
+)
+
+MB = 1024 * 1024
+
+
+def make_cache(env, **over):
+    params = PageCacheParams(**{
+        "capacity_bytes": 64 * MB,
+        "dirty_background_bytes": 8 * MB,
+        "dirty_limit_bytes": 32 * MB,
+        **over,
+    })
+    model = ServiceTimeModel(rng=np.random.default_rng(1))
+    dom0 = DiskDevice(env, NoopScheduler(), model)
+    vdisk = VirtualBlockDevice(env, NoopScheduler(), dom0, "vm0", 0, 200_000_000)
+    fs = GuestFilesystem(200_000_000, fragmentation=0.0)
+    return PageCache(env, vdisk, params), vdisk, fs
+
+
+def run(env, gen):
+    p = env.process(gen)
+    env.run(until=p)
+
+
+def test_drop_evicts_clean_keeps_dirty():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    clean = fs.create("clean", 2 * MB)
+    dirty = fs.create("dirty", 2 * MB)
+    run(env, cache.read(clean, 0, 2 * MB, "r"))
+    run(env, cache.write(dirty, 0, 2 * MB, "w"))
+    cache.drop()
+    # Clean chunks gone; dirty survive (they still must reach disk).
+    assert cache.dirty_bytes == 2 * MB
+    before = vdisk.stats.read_bytes
+    run(env, cache.read(clean, 0, 2 * MB, "r"))
+    assert vdisk.stats.read_bytes > before  # re-read hits disk
+
+
+def test_drop_single_file_only():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    a = fs.create("a", 2 * MB)
+    b = fs.create("b", 2 * MB)
+    run(env, cache.read(a, 0, 2 * MB, "r"))
+    run(env, cache.read(b, 0, 2 * MB, "r"))
+    cache.drop(a)
+    before = vdisk.stats.read_bytes
+    run(env, cache.read(b, 0, 2 * MB, "r"))  # still cached
+    assert vdisk.stats.read_bytes == before
+    run(env, cache.read(a, 0, 2 * MB, "r"))  # dropped
+    assert vdisk.stats.read_bytes > before
+
+
+def test_partial_tail_chunk_io_clamped_to_file_size():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    # 1.5 MB file: second chunk is a partial tail.
+    f = fs.create("tail", MB + MB // 2)
+    run(env, cache.write(f, 0, MB + MB // 2, "w", sync=True))
+    assert vdisk.stats.write_bytes == MB + MB // 2
+
+
+def test_hit_and_miss_counters():
+    env = Environment()
+    cache, _, fs = make_cache(env)
+    f = fs.create("data", 4 * MB)
+    run(env, cache.read(f, 0, 4 * MB, "r"))
+    misses_after_cold = cache.misses
+    run(env, cache.read(f, 0, 4 * MB, "r"))
+    assert cache.misses == misses_after_cold
+    assert cache.hits >= 4
+
+
+def test_interleaved_hit_miss_ranges_read_correct_bytes():
+    env = Environment()
+    cache, vdisk, fs = make_cache(env)
+    f = fs.create("data", 6 * MB)
+    # Warm the middle chunks only.
+    run(env, cache.read(f, 2 * MB, 2 * MB, "r"))
+    before = vdisk.stats.read_bytes
+    run(env, cache.read(f, 0, 6 * MB, "r"))
+    # Only the cold 4 MB (head + tail) hit the disk.
+    assert vdisk.stats.read_bytes - before == 4 * MB

@@ -1,0 +1,59 @@
+"""Unit tests for scheduler pairs."""
+
+import pytest
+
+from repro.virt import DEFAULT_PAIR, SchedulerPair, all_pairs, pairs_excluding_noop_vmm
+
+
+def test_default_pair_is_cfq_cfq():
+    assert DEFAULT_PAIR.vmm == "cfq"
+    assert DEFAULT_PAIR.vm == "cfq"
+
+
+def test_canonicalizes_aliases():
+    p = SchedulerPair("AS", "dl")
+    assert p.vmm == "anticipatory"
+    assert p.vm == "deadline"
+
+
+def test_str_matches_paper_notation():
+    assert str(SchedulerPair("anticipatory", "deadline")) == "(AS, DL)"
+    assert str(DEFAULT_PAIR) == "(CFQ, CFQ)"
+
+
+def test_label_two_letters():
+    assert SchedulerPair("anticipatory", "deadline").label == "ad"
+    assert SchedulerPair("cfq", "noop").label == "cn"
+
+
+def test_parse_variants():
+    assert SchedulerPair.parse("(AS, DL)") == SchedulerPair("anticipatory", "deadline")
+    assert SchedulerPair.parse("cfq,noop") == SchedulerPair("cfq", "noop")
+    assert SchedulerPair.parse("ad") == SchedulerPair("anticipatory", "deadline")
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        SchedulerPair.parse("xy")
+    with pytest.raises(ValueError):
+        SchedulerPair.parse("not-a-pair-at-all")
+
+
+def test_all_pairs_is_16_unique():
+    pairs = all_pairs()
+    assert len(pairs) == 16
+    assert len(set(pairs)) == 16
+    assert DEFAULT_PAIR in pairs
+
+
+def test_pairs_excluding_noop_vmm_is_12():
+    pairs = pairs_excluding_noop_vmm()
+    assert len(pairs) == 12
+    assert all(p.vmm != "noop" for p in pairs)
+
+
+def test_pair_equality_and_hash():
+    a = SchedulerPair("AS", "DL")
+    b = SchedulerPair("anticipatory", "deadline")
+    assert a == b
+    assert hash(a) == hash(b)
