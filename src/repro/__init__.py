@@ -22,6 +22,8 @@ Quickstart::
     print(report.summary())
 """
 
+__version__ = "1.1.0"
+
 from .core import (
     AdaptiveMetaScheduler,
     AdaptiveReport,
@@ -31,10 +33,9 @@ from .core import (
     TestbedConfig,
 )
 from .mapreduce import JobConfig, JobResult, JobSpec
+from .runner import RunSpec, SweepJobRunner, SweepRunner, SweepStats
 from .virt import ClusterConfig, SchedulerPair, VirtualCluster, all_pairs
 from .workloads import BENCHMARKS, benchmark
-
-__version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveMetaScheduler",
@@ -45,8 +46,12 @@ __all__ = [
     "JobRunner",
     "JobResult",
     "JobSpec",
+    "RunSpec",
     "SchedulerPair",
     "Solution",
+    "SweepJobRunner",
+    "SweepRunner",
+    "SweepStats",
     "SwitchCostMeter",
     "TestbedConfig",
     "VirtualCluster",

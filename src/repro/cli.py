@@ -3,30 +3,63 @@
 Usage::
 
     python -m repro table1 --scale 0.25 --seeds 0,1,2
-    python -m repro fig7a
-    python -m repro all --scale 0.1 --seeds 0
+    python -m repro fig7a --jobs 4
+    python -m repro all --scale 0.1 --seeds 0 --cache-dir /tmp/repro
 
 Each experiment prints the table/series of its paper artifact plus its
-PASS/FAIL shape checks.
+PASS/FAIL shape checks.  Simulations fan out over ``--jobs`` worker
+processes and are memoised in a content-addressed on-disk cache, so
+re-running an experiment with the same configuration replays results
+without simulating (``--no-cache`` disables the disk cache).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
 from .experiments import DEFAULT_SCALE, EXPERIMENTS
+from .experiments.common import validate_scale
+from .runner import DEFAULT_CACHE_DIR, RunSpec, SweepRunner, default_jobs
 
 __all__ = ["main"]
 
 
 def _parse_seeds(raw: str) -> tuple:
     try:
-        return tuple(int(s) for s in raw.split(",") if s != "")
+        seeds = tuple(int(s) for s in raw.split(",") if s != "")
     except ValueError:
         raise argparse.ArgumentTypeError(f"bad seed list {raw!r}") from None
+    if not seeds:
+        raise argparse.ArgumentTypeError(
+            f"seed list {raw!r} is empty; give at least one seed, e.g. "
+            "--seeds 0 or --seeds 0,1,2"
+        )
+    return seeds
+
+
+def _parse_scale(raw: str) -> float:
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"scale must be a float, got {raw!r}") from None
+    try:
+        return validate_scale(value, source="--scale")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _parse_jobs(raw: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"jobs must be an int, got {raw!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,9 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--scale",
-        type=float,
+        type=_parse_scale,
         default=DEFAULT_SCALE,
-        help="data-size scale factor (1.0 = paper-exact sizes; "
+        help="data-size scale factor in (0, 1] (1.0 = paper-exact sizes; "
         f"default {DEFAULT_SCALE} or $REPRO_SCALE)",
     )
     parser.add_argument(
@@ -52,23 +85,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=(0,),
         help="comma-separated seeds to average over (default: 0)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=None,
+        help="simulation worker processes "
+        "(default: $REPRO_JOBS or the CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR),
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        f"{DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (in-process memoisation stays on)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress and timing output (tables and checks only)",
+    )
     return parser
 
 
-def run_one(exp_id: str, scale: float, seeds: tuple) -> bool:
+def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
+            quiet: bool = False) -> bool:
     start = time.time()
-    result = EXPERIMENTS[exp_id](scale=scale, seeds=seeds)
-    print(result.render())
-    print(f"(elapsed {time.time() - start:.1f}s)\n")
+    before = sweep.stats.snapshot()
+    result = EXPERIMENTS[exp_id](scale=scale, seeds=seeds, sweep=sweep)
+    rendered = result.render()
+    delta = sweep.stats.since(before)
+    print(rendered)
+    if not quiet:
+        print(f"(elapsed {time.time() - start:.1f}s; {delta.summary()})")
+    print()
     return result.all_checks_pass
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    def progress(spec: RunSpec, seconds: float) -> None:
+        name = spec.label or f"{spec.kind} seed={spec.seed}"
+        print(f"  ran {name} ({seconds:.1f}s)", file=sys.stderr)
+
+    try:
+        sweep = SweepRunner(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            progress=None if args.quiet else progress,
+        )
+    except ValueError as exc:  # e.g. a garbage $REPRO_JOBS value
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
     ok = True
-    for exp_id in ids:
-        ok = run_one(exp_id, args.scale, args.seeds) and ok
+    with sweep:
+        for exp_id in ids:
+            ok = run_one(exp_id, sweep, args.scale, args.seeds,
+                         quiet=args.quiet) and ok
     return 0 if ok else 1
 
 

@@ -94,7 +94,7 @@ class ChainRunner:
         durations: List[float] = []
         rows: List[Tuple[float, ...]] = []
         for seed in self.config.seeds:
-            duration, phases = self._execute(solution, seed)
+            duration, phases = self.execute_once(solution, seed)
             durations.append(duration)
             rows.append(phases)
         outcome = ChainOutcome(solution, durations, rows)
@@ -105,7 +105,8 @@ class ChainRunner:
         return self.run_plan(solution).mean_duration
 
     # -- one chained run ---------------------------------------------------------------
-    def _execute(self, solution: Solution, seed: int) -> Tuple[float, Tuple[float, ...]]:
+    def execute_once(self, solution: Solution, seed: int) -> Tuple[float, Tuple[float, ...]]:
+        """One uncached chained run: ``(duration, per-phase durations)``."""
         self.runs_executed += 1
         env = Environment()
         first_pair = solution.assignments[0]

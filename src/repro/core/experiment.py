@@ -106,7 +106,7 @@ class JobRunner:
         results: List[JobResult] = []
         stalls: List[float] = []
         for seed in self.config.seeds:
-            result, stall = self._execute(solution, seed)
+            result, stall = self.execute_once(solution, seed)
             results.append(result)
             stalls.append(stall)
         outcome = RunOutcome(solution=solution, results=results,
@@ -119,7 +119,8 @@ class JobRunner:
         return self.run_plan(solution).mean_duration
 
     # -- one simulated run -------------------------------------------------------------
-    def _execute(self, solution: Solution, seed: int) -> Tuple[JobResult, float]:
+    def execute_once(self, solution: Solution, seed: int) -> Tuple[JobResult, float]:
+        """One uncached simulated run: ``(job result, switch stall)``."""
         self.runs_executed += 1
         env = Environment()
         trace = self.trace_factory(seed) if self.trace_factory else None

@@ -55,8 +55,16 @@ class ProfiledScores:
 def profile_single_pairs(
     runner: JobRunner, pairs: Optional[Sequence[SchedulerPair]] = None
 ) -> ProfiledScores:
-    """Run the job once per pair (the paper's initial profiling pass)."""
+    """Run the job once per pair (the paper's initial profiling pass).
+
+    The profiling runs are independent, so a sweep-backed runner (one
+    with ``prefetch_uniform``) executes them as one parallel batch
+    before the sequential read-back below.
+    """
     pairs = list(pairs) if pairs is not None else all_pairs()
+    prefetch = getattr(runner, "prefetch_uniform", None)
+    if prefetch is not None:
+        prefetch(pairs)
     totals: Dict[SchedulerPair, float] = {}
     per_phase: Dict[SchedulerPair, Tuple[float, ...]] = {}
     for pair in pairs:

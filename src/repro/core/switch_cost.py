@@ -25,9 +25,43 @@ from ..virt.cluster import ClusterConfig, VirtualCluster
 from ..virt.pair import SchedulerPair, all_pairs
 from ..workloads.ddwrite import DdParallelWrite
 
-__all__ = ["SwitchCostMeter", "SwitchCostMatrix", "SwitchCostModel"]
+__all__ = [
+    "SwitchCostMeter",
+    "SwitchCostMatrix",
+    "SwitchCostModel",
+    "run_dd_once",
+]
 
 MB = 1024 * 1024
+
+
+def run_dd_once(
+    cluster_config: ClusterConfig,
+    pair: SchedulerPair,
+    seed: int,
+    nbytes: int,
+    switch_to: Optional[SchedulerPair] = None,
+    switch_at: Optional[float] = None,
+) -> float:
+    """One dd measurement run (optionally switching pairs mid-flight)."""
+    env = Environment()
+    cluster = VirtualCluster(
+        env, cluster_config.with_(initial_pair=pair, seed=seed)
+    )
+    host = cluster.hosts[0]
+    bench = DdParallelWrite(env, host, nbytes=nbytes)
+    proc = bench.start()
+
+    if switch_to is not None and switch_at is not None:
+        def switcher():
+            yield env.timeout(switch_at)
+            if proc.is_alive:
+                yield cluster.set_pair(switch_to)
+
+        env.process(switcher())
+
+    env.run(until=proc)
+    return proc.value
 
 
 @dataclass
@@ -61,6 +95,7 @@ class SwitchCostMeter:
         cluster_config: Optional[ClusterConfig] = None,
         nbytes: int = 600 * MB,
         seeds: Sequence[int] = (0,),
+        sweep=None,
     ):
         self.cluster_config = cluster_config or ClusterConfig(hosts=1)
         if self.cluster_config.hosts != 1:
@@ -68,31 +103,37 @@ class SwitchCostMeter:
             self.cluster_config = self.cluster_config.with_(hosts=1)
         self.nbytes = nbytes
         self.seeds = tuple(seeds)
+        #: Optional :class:`repro.runner.SweepRunner` for parallel/cached runs.
+        self.sweep = sweep
         self._pure_cache: Dict[SchedulerPair, float] = {}
+        self._transition_cache: Dict[
+            Tuple[SchedulerPair, SchedulerPair], float
+        ] = {}
 
     # -- runs ------------------------------------------------------------------
     def _run(self, pair: SchedulerPair, seed: int,
              switch_to: Optional[SchedulerPair] = None,
              switch_at: Optional[float] = None) -> float:
-        env = Environment()
-        cluster = VirtualCluster(
-            env,
-            self.cluster_config.with_(initial_pair=pair, seed=seed),
+        return run_dd_once(
+            self.cluster_config, pair, seed, self.nbytes,
+            switch_to=switch_to, switch_at=switch_at,
         )
-        host = cluster.hosts[0]
-        bench = DdParallelWrite(env, host, nbytes=self.nbytes)
-        proc = bench.start()
 
-        if switch_to is not None and switch_at is not None:
-            def switcher():
-                yield env.timeout(switch_at)
-                if proc.is_alive:
-                    yield cluster.set_pair(switch_to)
+    def _spec(self, pair: SchedulerPair, seed: int,
+              switch_to: Optional[SchedulerPair] = None,
+              switch_at: Optional[float] = None):
+        from ..runner.spec import RunSpec
 
-            env.process(switcher())
-
-        env.run(until=proc)
-        return proc.value
+        tag = f"dd {pair.label}" + (
+            f"->{switch_to.label}@{switch_at:.2f}" if switch_to else ""
+        )
+        return RunSpec(
+            kind="dd",
+            seed=seed,
+            config=(self.cluster_config, self.nbytes, pair, switch_to,
+                    switch_at),
+            label=f"{tag} seed={seed}",
+        )
 
     def pure_time(self, pair: SchedulerPair) -> float:
         """Mean dd elapsed time under a single pair."""
@@ -104,6 +145,9 @@ class SwitchCostMeter:
 
     def transition_cost(self, src: SchedulerPair, dst: SchedulerPair) -> float:
         """Cost_switch for ``src → dst`` per the paper's formula."""
+        cached = self._transition_cache.get((src, dst))
+        if cached is not None:
+            return cached
         t1 = self.pure_time(src)
         t2 = self.pure_time(dst)
         switch_at = min(t1, t2) / 2.0
@@ -111,12 +155,16 @@ class SwitchCostMeter:
             self._run(src, seed, switch_to=dst, switch_at=switch_at)
             for seed in self.seeds
         )
-        return t_both - (t1 + t2) / 2.0
+        cost = t_both - (t1 + t2) / 2.0
+        self._transition_cache[(src, dst)] = cost
+        return cost
 
     def matrix(
         self, pairs: Optional[Sequence[SchedulerPair]] = None
     ) -> SwitchCostMatrix:
         pairs = list(pairs) if pairs is not None else all_pairs()
+        if self.sweep is not None:
+            self._prefetch(pairs)
         costs = {
             (src, dst): self.transition_cost(src, dst)
             for src in pairs
@@ -126,6 +174,38 @@ class SwitchCostMeter:
             costs=costs,
             pure_times={p: self.pure_time(p) for p in pairs},
         )
+
+    def _prefetch(self, pairs: Sequence[SchedulerPair]) -> None:
+        """Two batched passes through the sweep runner.
+
+        The transition runs need the pure times (the switch fires at
+        half the shorter pure run), so the pure grid is one parallel
+        batch and the ``S²`` transition grid a second.
+        """
+        pure_specs = [
+            self._spec(pair, seed) for pair in pairs for seed in self.seeds
+        ]
+        payloads = self.sweep.run_specs(pure_specs)
+        it = iter(payloads)
+        for pair in pairs:
+            self._pure_cache[pair] = mean(
+                next(it)["elapsed"] for _ in self.seeds
+            )
+        transition_specs = []
+        for src in pairs:
+            for dst in pairs:
+                switch_at = min(self.pure_time(src), self.pure_time(dst)) / 2.0
+                transition_specs.extend(
+                    self._spec(src, seed, switch_to=dst, switch_at=switch_at)
+                    for seed in self.seeds
+                )
+        results = iter(self.sweep.run_specs(transition_specs))
+        for src in pairs:
+            for dst in pairs:
+                t_both = mean(next(results)["elapsed"] for _ in self.seeds)
+                self._transition_cache[(src, dst)] = (
+                    t_both - (self.pure_time(src) + self.pure_time(dst)) / 2.0
+                )
 
 
 class SwitchCostModel:

@@ -16,19 +16,18 @@ from __future__ import annotations
 from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
-from ..core.chains import ChainConfig, ChainRunner
-from ..core.experiment import JobRunner
+from ..core.chains import ChainConfig
 from ..core.heuristic import HeuristicSearch, profile_single_pairs
 from ..core.metasched import AdaptiveMetaScheduler
-from ..core.online import OnlineController, OnlinePolicy
-from ..hdfs.namenode import NameNode
-from ..iosched.anticipatory import AnticipatoryParams, AnticipatoryScheduler
-from ..mapreduce.jobtracker import MapReduceJob
 from ..metrics.summary import format_table
-from ..net.topology import Topology
-from ..sim.core import Environment
-from ..virt.cluster import VirtualCluster
-from ..virt.pair import DEFAULT_PAIR, SchedulerPair
+from ..runner import (
+    RunSpec,
+    SweepChainRunner,
+    SweepJobRunner,
+    SweepRunner,
+    default_runner,
+)
+from ..virt.pair import DEFAULT_PAIR, SchedulerPair, all_pairs
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
 from .common import DEFAULT_SCALE, scaled_cluster, scaled_job, scaled_testbed
@@ -36,59 +35,54 @@ from .common import DEFAULT_SCALE, scaled_cluster, scaled_job, scaled_testbed
 __all__ = ["run_mechanisms", "run_online", "run_chain", "run_phase_count"]
 
 
-def _run_sort_custom(
-    scale: float,
-    seed: int,
-    initial_pair: SchedulerPair,
-    ring_slots: int = 32,
-    dom0_factory=None,
-) -> float:
-    env = Environment()
-    cluster = VirtualCluster(
-        env,
-        scaled_cluster(scale, seed=seed).with_(
-            initial_pair=initial_pair, ring_slots=ring_slots
-        ),
-    )
-    if dom0_factory is not None:
-        # Swap before any I/O exists; queues are empty so this is free.
-        for host in cluster.hosts:
-            host.disk.scheduler = dom0_factory()
-    topology = Topology(env)
-    job_config = scaled_job(SORT, scale)
-    namenode = NameNode(cluster, block_size=job_config.block_size)
-    job = MapReduceJob(env, cluster, topology, namenode, job_config)
-    proc = job.start()
-    env.run(until=proc)
-    return proc.value.duration
-
-
 def run_mechanisms(
-    scale: float = DEFAULT_SCALE, seeds: Sequence[int] = (0,)
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (0,),
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Mechanism knockouts on sort."""
+    sweep = sweep if sweep is not None else default_runner()
     as_pair = SchedulerPair("anticipatory", "cfq")
+    job_config = scaled_job(SORT, scale)
 
-    def no_antic():
-        return AnticipatoryScheduler(
-            params=AnticipatoryParams(antic_expire=1e-9, max_think_time=0.0)
-        )
-
+    # (row label, Dom0 ring depth, zero-anticipation knockout)
+    variants = (
+        ("AS/CFQ, full anticipation", 32, False),
+        ("AS/CFQ, anticipation window ~0", 32, True),
+        ("AS/CFQ, ring depth 4", 4, False),
+        ("AS/CFQ, ring depth 1", 1, False),
+    )
+    payloads = sweep.run_specs(
+        [
+            RunSpec(
+                kind="sort_custom",
+                seed=seed,
+                config=(
+                    scaled_cluster(scale).with_(
+                        initial_pair=as_pair, ring_slots=ring
+                    ),
+                    job_config,
+                    zero_antic,
+                ),
+                label=f"{name} seed={seed}",
+            )
+            for name, ring, zero_antic in variants
+            for seed in seeds
+        ]
+    )
+    it = iter(payloads)
+    measured = {
+        name: mean(next(it)["duration"] for _ in seeds)
+        for name, _, _ in variants
+    }
     rows: Dict[str, float] = {}
-    rows["AS/CFQ, full anticipation"] = mean(
-        _run_sort_custom(scale, s, as_pair) for s in seeds
-    )
-    rows["AS/CFQ, anticipation window ~0"] = mean(
-        _run_sort_custom(scale, s, as_pair, dom0_factory=no_antic)
-        for s in seeds
-    )
+    rows["AS/CFQ, full anticipation"] = measured["AS/CFQ, full anticipation"]
+    rows["AS/CFQ, anticipation window ~0"] = measured[
+        "AS/CFQ, anticipation window ~0"
+    ]
     rows["AS/CFQ, ring depth 32"] = rows["AS/CFQ, full anticipation"]
-    rows["AS/CFQ, ring depth 4"] = mean(
-        _run_sort_custom(scale, s, as_pair, ring_slots=4) for s in seeds
-    )
-    rows["AS/CFQ, ring depth 1"] = mean(
-        _run_sort_custom(scale, s, as_pair, ring_slots=1) for s in seeds
-    )
+    rows["AS/CFQ, ring depth 4"] = measured["AS/CFQ, ring depth 4"]
+    rows["AS/CFQ, ring depth 1"] = measured["AS/CFQ, ring depth 1"]
     return ExperimentResult(
         experiment_id="ablation-mechanisms",
         title="Mechanism knockouts (sort)",
@@ -122,39 +116,40 @@ def _check_mechanisms(result: ExperimentResult) -> List[ShapeCheck]:
 
 
 def run_online(
-    scale: float = DEFAULT_SCALE, seeds: Sequence[int] = (0,)
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (0,),
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Reactive controller vs default and offline adaptive (sort)."""
-
-    def online_run(seed: int) -> float:
-        env = Environment()
-        cluster = VirtualCluster(
-            env, scaled_cluster(scale, seed=seed).with_(initial_pair=DEFAULT_PAIR)
+    sweep = sweep if sweep is not None else default_runner()
+    job_config = scaled_job(SORT, scale)
+    online_cluster = scaled_cluster(scale).with_(initial_pair=DEFAULT_PAIR)
+    online_specs = [
+        RunSpec(
+            kind="online_sort",
+            seed=seed,
+            config=(online_cluster, job_config),
+            label=f"online sort seed={seed}",
         )
-        topology = Topology(env)
-        job_config = scaled_job(SORT, scale)
-        namenode = NameNode(cluster, block_size=job_config.block_size)
-        job = MapReduceJob(env, cluster, topology, namenode, job_config)
-        controller = OnlineController(env, cluster, OnlinePolicy())
-        proc = job.start()
-
-        def stopper():
-            yield proc
-            controller.stop()
-
-        env.process(stopper())
-        env.run(until=proc)
-        return proc.value.duration
+        for seed in seeds
+    ]
 
     config = scaled_testbed(SORT, scale=scale, seeds=tuple(seeds))
-    meta = AdaptiveMetaScheduler(config)
-    report = meta.report()
+    runner = SweepJobRunner(config, sweep, label="ablation-online")
+    # One wave covers the reactive runs and the profiling matrix; the
+    # meta-scheduler's sequential search then reads profiles from the
+    # memo and only its own heuristic evaluations still simulate.
+    payloads = sweep.run_specs(
+        online_specs + runner.uniform_specs(all_pairs())
+    )
+    online_time = mean(
+        p["duration"] for p in payloads[: len(online_specs)]
+    )
+    report = AdaptiveMetaScheduler(config, runner=runner).report()
 
     rows = {
         f"default {DEFAULT_PAIR} (no tuning)": report.default_time,
-        "online reactive controller (no profiling)": mean(
-            online_run(s) for s in seeds
-        ),
+        "online reactive controller (no profiling)": online_time,
         f"offline adaptive [{report.adaptive_solution}]": report.adaptive_time,
     }
     return ExperimentResult(
@@ -194,6 +189,7 @@ def run_chain(
     scale: float = DEFAULT_SCALE,
     seeds: Sequence[int] = (0,),
     pairs: Optional[Sequence[SchedulerPair]] = None,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Heuristic on a two-pass sort chain (4 phases)."""
     if pairs is None:
@@ -208,7 +204,11 @@ def run_chain(
         ),
         seeds=tuple(seeds),
     )
-    runner = ChainRunner(config)
+    runner = SweepChainRunner(
+        config,
+        sweep if sweep is not None else default_runner(),
+        label="ablation-chain",
+    )
     scores = profile_single_pairs(runner, pairs)
     search = HeuristicSearch(runner, scores, pairs).search()
     best_pair, best_single = scores.best_single()
@@ -270,6 +270,7 @@ def run_phase_count(
     scale: float = DEFAULT_SCALE,
     seeds: Sequence[int] = (0,),
     pairs: Optional[Sequence[SchedulerPair]] = None,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """P=2 vs P=3 phase plans at a one-wave configuration.
 
@@ -291,7 +292,11 @@ def run_phase_count(
     evals = {}
     for n_phases in (2, 3):
         config = base.with_(job=one_wave_job, n_phases=n_phases)
-        runner = JobRunner(config)
+        runner = SweepJobRunner(
+            config,
+            sweep if sweep is not None else default_runner(),
+            label=f"ablation-phases P={n_phases}",
+        )
         scores = profile_single_pairs(runner, pairs)
         search = HeuristicSearch(runner, scores, pairs).search()
         results[f"P={n_phases} heuristic plan"] = search.score

@@ -10,7 +10,7 @@ reproduction qualitatively, never against absolute seconds).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["ExperimentResult", "ShapeCheck"]
 
@@ -37,16 +37,22 @@ class ExperimentResult:
     data: Dict[str, Any] = field(default_factory=dict)
     renderer: Callable[["ExperimentResult"], str] = None  # type: ignore[assignment]
     checker: Callable[["ExperimentResult"], List[ShapeCheck]] = None  # type: ignore[assignment]
+    _checks: Optional[List[ShapeCheck]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def render(self) -> str:
         header = f"### {self.experiment_id}: {self.title}"
         body = self.renderer(self) if self.renderer else ""
-        checks = self.checks()
-        check_lines = "\n".join(str(c) for c in checks)
+        check_lines = "\n".join(str(c) for c in self.checks())
         return "\n".join(part for part in (header, body, check_lines) if part)
 
     def checks(self) -> List[ShapeCheck]:
-        return self.checker(self) if self.checker else []
+        # Checkers can be expensive (they walk the result data), and both
+        # render() and all_checks_pass need them — compute once.
+        if self._checks is None:
+            self._checks = self.checker(self) if self.checker else []
+        return self._checks
 
     @property
     def all_checks_pass(self) -> bool:

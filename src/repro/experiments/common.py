@@ -29,7 +29,15 @@ __all__ = [
     "scaled_cluster",
     "scaled_job",
     "scaled_testbed",
+    "validate_scale",
 ]
+
+
+def validate_scale(value: float, source: str = "scale") -> float:
+    """Check a data-size scale factor is usable; returns it unchanged."""
+    if not 0 < value <= 1:
+        raise ValueError(f"{source} must be in (0, 1], got {value}")
+    return value
 
 
 def _env_scale() -> float:
@@ -38,9 +46,7 @@ def _env_scale() -> float:
         value = float(raw)
     except ValueError:
         raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from None
-    if not 0 < value <= 1:
-        raise ValueError(f"REPRO_SCALE must be in (0, 1], got {value}")
-    return value
+    return validate_scale(value, source="REPRO_SCALE")
 
 
 #: Global data-size scale for experiments (1.0 = paper-exact sizes).
@@ -51,7 +57,16 @@ PAPER_SEEDS: Tuple[int, ...] = (0, 1, 2)
 
 
 def default_seeds(n: int = 3) -> Tuple[int, ...]:
-    return PAPER_SEEDS[:n]
+    """The first ``n`` experiment seeds.
+
+    Starts with the paper's three consecutive runs and keeps counting
+    upward past them, so asking for more seeds than the paper used
+    extends the set deterministically instead of silently truncating
+    to three.
+    """
+    if n <= len(PAPER_SEEDS):
+        return PAPER_SEEDS[:n]
+    return PAPER_SEEDS + tuple(range(len(PAPER_SEEDS), n))
 
 
 def scaled_pagecache(scale: float) -> PageCacheParams:

@@ -13,10 +13,9 @@ from statistics import mean
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..metrics.summary import format_table
-from ..sim.core import Environment
-from ..virt.cluster import VirtualCluster
+from ..runner import RunSpec, SweepRunner, default_runner
 from ..virt.pair import DEFAULT_PAIR, SchedulerPair, all_pairs
-from ..workloads.sysbench import MB, SysbenchSeqWrite
+from ..workloads.sysbench import MB
 from .base import ExperimentResult, ShapeCheck
 from .common import DEFAULT_SCALE, scaled_cluster
 
@@ -25,37 +24,40 @@ __all__ = ["run"]
 CONSOLIDATIONS = (1, 2, 3)
 
 
-def _measure(pair: SchedulerPair, n_vms: int, scale: float, seed: int) -> float:
-    env = Environment()
-    cluster = VirtualCluster(
-        env,
-        scaled_cluster(scale, hosts=1, vms_per_host=max(CONSOLIDATIONS), seed=seed)
-        .with_(initial_pair=pair),
-    )
-    bench = SysbenchSeqWrite(
-        env,
-        cluster,
-        total_bytes=int(1024 * MB * scale),
-        n_files=16,
-        vms_per_host=n_vms,
-    )
-    proc = bench.start()
-    env.run(until=proc)
-    return proc.value
-
-
 def run(
     scale: float = DEFAULT_SCALE,
     seeds: Sequence[int] = (0,),
     pairs: Optional[Sequence[SchedulerPair]] = None,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
+    sweep = sweep if sweep is not None else default_runner()
     pairs = list(pairs) if pairs is not None else all_pairs()
-    times: Dict[Tuple[SchedulerPair, int], float] = {}
-    for n_vms in CONSOLIDATIONS:
-        for pair in pairs:
-            times[(pair, n_vms)] = mean(
-                _measure(pair, n_vms, scale, seed) for seed in seeds
-            )
+    base = scaled_cluster(scale, hosts=1, vms_per_host=max(CONSOLIDATIONS))
+    grid = [
+        (n_vms, pair, seed)
+        for n_vms in CONSOLIDATIONS
+        for pair in pairs
+        for seed in seeds
+    ]
+    specs = [
+        RunSpec(
+            kind="sysbench",
+            seed=seed,
+            config=(
+                base.with_(initial_pair=pair),
+                int(1024 * MB * scale),
+                16,
+                n_vms,
+            ),
+            label=f"fig1 {pair} {n_vms}vm seed={seed}",
+        )
+        for n_vms, pair, seed in grid
+    ]
+    payloads = sweep.run_specs(specs)
+    elapsed: Dict[Tuple[SchedulerPair, int], List[float]] = {}
+    for (n_vms, pair, _seed), payload in zip(grid, payloads):
+        elapsed.setdefault((pair, n_vms), []).append(payload["elapsed"])
+    times = {key: mean(values) for key, values in elapsed.items()}
 
     result = ExperimentResult(
         experiment_id="fig1",

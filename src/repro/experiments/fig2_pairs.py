@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.experiment import JobRunner
 from ..mapreduce.job import JobSpec
 from ..metrics.summary import format_table
+from ..runner import SweepJobRunner, SweepRunner, default_runner
 from ..virt.pair import DEFAULT_PAIR, SchedulerPair, all_pairs
 from ..workloads.profiles import SORT, WORDCOUNT, WORDCOUNT_NO_COMBINER
 from .base import ExperimentResult, ShapeCheck
@@ -30,10 +31,17 @@ def run_one_benchmark(
     seeds: Sequence[int] = (0,),
     pairs: Optional[Sequence[SchedulerPair]] = None,
     runner: Optional[JobRunner] = None,
+    sweep: Optional[SweepRunner] = None,
 ) -> Dict[SchedulerPair, float]:
     """Mean duration per pair for one benchmark."""
     pairs = list(pairs) if pairs is not None else all_pairs()
-    runner = runner or JobRunner(scaled_testbed(spec, scale=scale, seeds=seeds))
+    if runner is None:
+        runner = SweepJobRunner(
+            scaled_testbed(spec, scale=scale, seeds=seeds),
+            sweep if sweep is not None else default_runner(),
+            label=spec.name,
+        )
+        runner.prefetch_uniform(pairs)
     return {pair: runner.run_uniform(pair).mean_duration for pair in pairs}
 
 
@@ -42,11 +50,26 @@ def run(
     seeds: Sequence[int] = (0,),
     pairs: Optional[Sequence[SchedulerPair]] = None,
     benchmarks: Sequence[JobSpec] = DEFAULT_BENCHMARKS,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
+    sweep = sweep if sweep is not None else default_runner()
     pairs = list(pairs) if pairs is not None else all_pairs()
-    durations = {
-        spec.name: run_one_benchmark(spec, scale, seeds, pairs)
+    # One parallel wave over the full (benchmark × pair × seed) matrix.
+    runners = {
+        spec.name: SweepJobRunner(
+            scaled_testbed(spec, scale=scale, seeds=seeds), sweep,
+            label=spec.name,
+        )
         for spec in benchmarks
+    }
+    sweep.run_specs(
+        [s for r in runners.values() for s in r.uniform_specs(pairs)]
+    )
+    durations = {
+        name: {
+            pair: runner.run_uniform(pair).mean_duration for pair in pairs
+        }
+        for name, runner in runners.items()
     }
     return ExperimentResult(
         experiment_id="fig2",

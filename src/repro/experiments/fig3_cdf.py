@@ -9,15 +9,11 @@ mean 52.3 vs CFQ's 159/47.1) while (CFQ, CFQ) achieves better
 from __future__ import annotations
 
 from statistics import mean, pstdev
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..hdfs.namenode import NameNode
-from ..mapreduce.jobtracker import MapReduceJob
 from ..metrics.cdf import Cdf
 from ..metrics.summary import format_series, format_table
-from ..net.topology import Topology
-from ..sim.core import Environment
-from ..virt.cluster import VirtualCluster
+from ..runner import RunSpec, SweepRunner, default_runner
 from ..virt.pair import SchedulerPair
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
@@ -33,39 +29,34 @@ COMPARED_PAIRS = (
 )
 
 
-def _instrumented_run(pair: SchedulerPair, scale: float, seed: int):
-    """One sort run returning Dom0 and per-VM throughput samples (MB/s)."""
-    env = Environment()
-    cluster = VirtualCluster(
-        env, scaled_cluster(scale, seed=seed).with_(initial_pair=pair)
-    )
-    topology = Topology(env)
-    job_config = scaled_job(SORT, scale)
-    namenode = NameNode(cluster, block_size=job_config.block_size)
-    job = MapReduceJob(env, cluster, topology, namenode, job_config)
-    proc = job.start()
-    env.run(until=proc)
-    duration = env.now
-    host = cluster.hosts[0]
-    dom0 = [r / MB for r in host.disk.stats.throughput.rates(0.0, duration)]
-    vms = {
-        vm.vm_id: [r / MB for r in vm.vdisk.stats.throughput.rates(0.0, duration)]
-        for vm in host.vms
-    }
-    return dom0, vms
-
-
-def run(scale: float = DEFAULT_SCALE, seeds: Sequence[int] = (0,)) -> ExperimentResult:
+def run(
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (0,),
+    sweep: Optional[SweepRunner] = None,
+) -> ExperimentResult:
+    sweep = sweep if sweep is not None else default_runner()
+    grid = [(pair, seed) for pair in COMPARED_PAIRS for seed in seeds]
+    specs = [
+        RunSpec(
+            kind="instrumented_job",
+            seed=seed,
+            config=(
+                scaled_cluster(scale).with_(initial_pair=pair),
+                scaled_job(SORT, scale),
+            ),
+            label=f"fig3 sort {pair} seed={seed}",
+        )
+        for pair, seed in grid
+    ]
+    payloads = sweep.run_specs(specs)
     dom0_samples: Dict[SchedulerPair, List[float]] = {p: [] for p in COMPARED_PAIRS}
     vm_means: Dict[SchedulerPair, List[float]] = {p: [] for p in COMPARED_PAIRS}
     vm_samples: Dict[SchedulerPair, List[float]] = {p: [] for p in COMPARED_PAIRS}
-    for pair in COMPARED_PAIRS:
-        for seed in seeds:
-            dom0, vms = _instrumented_run(pair, scale, seed)
-            dom0_samples[pair].extend(dom0)
-            for series in vms.values():
-                vm_means[pair].append(mean(series) if series else 0.0)
-                vm_samples[pair].extend(series)
+    for (pair, _seed), payload in zip(grid, payloads):
+        dom0_samples[pair].extend(payload["dom0"])
+        for series in payload["vms"].values():
+            vm_means[pair].append(mean(series) if series else 0.0)
+            vm_samples[pair].extend(series)
     return ExperimentResult(
         experiment_id="fig3",
         title="I/O throughput CDFs in VMM and VMs (sort)",

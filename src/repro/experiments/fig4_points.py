@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.experiment import JobRunner
 from ..metrics.summary import format_table
 from ..metrics.timeline import ProgressTimeline
+from ..runner import SweepJobRunner, SweepRunner, default_runner
 from ..virt.pair import DEFAULT_PAIR, SchedulerPair
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
@@ -41,8 +42,15 @@ def run(
     seeds: Sequence[int] = (0,),
     pairs: Sequence[SchedulerPair] = DEFAULT_POINT_PAIRS,
     runner: Optional[JobRunner] = None,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
-    runner = runner or JobRunner(scaled_testbed(SORT, scale=scale, seeds=seeds))
+    if runner is None:
+        runner = SweepJobRunner(
+            scaled_testbed(SORT, scale=scale, seeds=seeds),
+            sweep if sweep is not None else default_runner(),
+            label="fig4 sort",
+        )
+        runner.prefetch_uniform(pairs)
     points: Dict[SchedulerPair, List[float]] = {}
     totals: Dict[SchedulerPair, float] = {}
     segments: Dict[SchedulerPair, List[float]] = {}

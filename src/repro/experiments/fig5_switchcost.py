@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 
 from ..core.switch_cost import SwitchCostMatrix, SwitchCostMeter
 from ..metrics.summary import format_matrix
+from ..runner import SweepRunner, default_runner
 from ..virt.pair import SchedulerPair, all_pairs
 from ..workloads.ddwrite import MB
 from .base import ExperimentResult, ShapeCheck
@@ -34,6 +35,7 @@ def run(
     seeds: Sequence[int] = (0,),
     states: Optional[Sequence[SchedulerPair]] = None,
     full: bool = False,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     if states is None:
         states = all_pairs() if full else DEFAULT_STATES
@@ -41,6 +43,7 @@ def run(
         scaled_cluster(scale, hosts=1),
         nbytes=int(600 * MB * scale),
         seeds=seeds,
+        sweep=sweep if sweep is not None else default_runner(),
     )
     matrix = meter.matrix(list(states))
     return ExperimentResult(

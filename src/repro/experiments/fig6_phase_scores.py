@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 from ..core.experiment import JobRunner
 from ..core.heuristic import ProfiledScores, profile_single_pairs
 from ..metrics.summary import format_table
+from ..runner import SweepJobRunner, SweepRunner, default_runner
 from ..virt.pair import SchedulerPair, all_pairs
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
@@ -26,9 +27,15 @@ def run(
     seeds: Sequence[int] = (0,),
     pairs: Optional[Sequence[SchedulerPair]] = None,
     runner: Optional[JobRunner] = None,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     pairs = list(pairs) if pairs is not None else all_pairs()
-    runner = runner or JobRunner(scaled_testbed(SORT, scale=scale, seeds=seeds))
+    if runner is None:
+        runner = SweepJobRunner(
+            scaled_testbed(SORT, scale=scale, seeds=seeds),
+            sweep if sweep is not None else default_runner(),
+            label="fig6 sort",
+        )
     scores = profile_single_pairs(runner, pairs)
     # One multi-pair evaluation: the paper's point is that plans mixing
     # pairs across phases can beat every uniform plan; the profile

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..core.experiment import TestbedConfig
 from ..core.metasched import AdaptiveMetaScheduler, AdaptiveReport
 from ..mapreduce.job import MB, JobSpec
 from ..metrics.summary import format_table
-from ..virt.pair import SchedulerPair
+from ..runner import SweepJobRunner, SweepRunner, default_runner
+from ..virt.pair import SchedulerPair, all_pairs
 from ..workloads.profiles import SORT, WORDCOUNT, WORDCOUNT_NO_COMBINER
 from .base import ExperimentResult, ShapeCheck
 from .common import DEFAULT_SCALE, scaled_testbed
@@ -38,16 +40,33 @@ SWEEP_PAIRS = tuple(
 )
 
 
-def _report(
-    spec: JobSpec,
-    scale: float,
-    seeds: Sequence[int],
+def _batch_reports(
+    configs: Dict[str, TestbedConfig],
     pairs: Optional[Sequence[SchedulerPair]],
-    **testbed_overrides,
-) -> AdaptiveReport:
-    config = scaled_testbed(spec, scale=scale, seeds=seeds, **testbed_overrides)
-    meta = AdaptiveMetaScheduler(config, pairs=list(pairs) if pairs else None)
-    return meta.report()
+    sweep: Optional[SweepRunner],
+) -> Dict[str, AdaptiveReport]:
+    """Adaptive reports for several testbed points.
+
+    The profiling matrix (point × pair × seed) is embarrassingly
+    parallel, so it goes through the sweep in one wave; the sequential
+    Algorithm 1 per point then reads profiled runs back from the memo
+    and only the heuristic's own evaluations still simulate.
+    """
+    sweep = sweep if sweep is not None else default_runner()
+    pairs = list(pairs) if pairs is not None else all_pairs()
+    runners = {
+        label: SweepJobRunner(config, sweep, label=label)
+        for label, config in configs.items()
+    }
+    sweep.run_specs(
+        [s for r in runners.values() for s in r.uniform_specs(pairs)]
+    )
+    return {
+        label: AdaptiveMetaScheduler(
+            configs[label], pairs=pairs, runner=runners[label]
+        ).report()
+        for label in configs
+    }
 
 
 def _rows(reports: Dict[str, AdaptiveReport]) -> List[List]:
@@ -135,12 +154,14 @@ def run_workloads(
     scale: float = DEFAULT_SCALE,
     seeds: Sequence[int] = (0,),
     pairs: Optional[Sequence[SchedulerPair]] = None,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """(a) adaptive vs baselines on the three benchmarks (full 16 pairs)."""
-    reports = {
-        spec.name: _report(spec, scale, seeds, pairs)
+    configs = {
+        spec.name: scaled_testbed(spec, scale=scale, seeds=seeds)
         for spec in (WORDCOUNT, WORDCOUNT_NO_COMBINER, SORT)
     }
+    reports = _batch_reports(configs, pairs, sweep)
     return _result("fig7a", "Adaptive tuning across workloads", reports, scale)
 
 
@@ -149,14 +170,16 @@ def run_consolidation(
     seeds: Sequence[int] = (0,),
     consolidations: Sequence[int] = (2, 4, 6),
     pairs: Sequence[SchedulerPair] = SWEEP_PAIRS,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """(b) sort with 2/4/6 VMs per physical host."""
-    reports = {
-        f"{n} VMs/host": _report(
-            SORT, scale, seeds, pairs, vms_per_host=n
+    configs = {
+        f"{n} VMs/host": scaled_testbed(
+            SORT, scale=scale, seeds=seeds, vms_per_host=n
         )
         for n in consolidations
     }
+    reports = _batch_reports(configs, pairs, sweep)
     return _result(
         "fig7b", "Adaptive tuning vs VM consolidation (sort)", reports, scale,
         trend_check=True,
@@ -168,14 +191,17 @@ def run_datasize(
     seeds: Sequence[int] = (0,),
     sizes_mb: Sequence[int] = (256, 512, 1024, 2048),
     pairs: Sequence[SchedulerPair] = SWEEP_PAIRS,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """(c) sort with growing data per node (scaled)."""
-    reports = {}
-    for size in sizes_mb:
-        bytes_per_vm = int(size * MB * scale)
-        reports[f"{size} MB/node"] = _report(
-            SORT, scale, seeds, pairs, bytes_per_vm=bytes_per_vm
+    configs = {
+        f"{size} MB/node": scaled_testbed(
+            SORT, scale=scale, seeds=seeds,
+            bytes_per_vm=int(size * MB * scale),
         )
+        for size in sizes_mb
+    }
+    reports = _batch_reports(configs, pairs, sweep)
     return _result(
         "fig7c", "Adaptive tuning vs data size (sort)", reports, scale,
         trend_check=True,
@@ -187,12 +213,14 @@ def run_cluster_scale(
     seeds: Sequence[int] = (0,),
     host_counts: Sequence[int] = (3, 4, 5, 6),
     pairs: Sequence[SchedulerPair] = SWEEP_PAIRS,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """(d) sort on 3–6 physical hosts (4 VMs each)."""
-    reports = {
-        f"{n} hosts": _report(SORT, scale, seeds, pairs, hosts=n)
+    configs = {
+        f"{n} hosts": scaled_testbed(SORT, scale=scale, seeds=seeds, hosts=n)
         for n in host_counts
     }
+    reports = _batch_reports(configs, pairs, sweep)
     # No monotone-trend assertion here: per-node improvement is roughly
     # constant (as the paper itself notes, "the improvement in each
     # physical node is nearly the same") and the aggregate trend is

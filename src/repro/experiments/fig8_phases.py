@@ -9,10 +9,10 @@ from per-phase tuning.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.experiment import JobRunner
 from ..metrics.summary import format_table
+from ..runner import SweepJobRunner, SweepRunner, default_runner
 from ..virt.pair import DEFAULT_PAIR
 from ..workloads.profiles import SORT, WORDCOUNT, WORDCOUNT_NO_COMBINER
 from .base import ExperimentResult, ShapeCheck
@@ -23,12 +23,26 @@ __all__ = ["run"]
 BENCHMARKS = (WORDCOUNT, WORDCOUNT_NO_COMBINER, SORT)
 
 
-def run(scale: float = DEFAULT_SCALE, seeds: Sequence[int] = (0,)) -> ExperimentResult:
-    phases: Dict[str, Tuple[float, float]] = {}
-    for spec in BENCHMARKS:
-        runner = JobRunner(scaled_testbed(spec, scale=scale, seeds=seeds))
-        outcome = runner.run_uniform(DEFAULT_PAIR)
-        phases[spec.name] = outcome.mean_phases
+def run(
+    scale: float = DEFAULT_SCALE,
+    seeds: Sequence[int] = (0,),
+    sweep: Optional[SweepRunner] = None,
+) -> ExperimentResult:
+    sweep = sweep if sweep is not None else default_runner()
+    runners = {
+        spec.name: SweepJobRunner(
+            scaled_testbed(spec, scale=scale, seeds=seeds), sweep,
+            label=spec.name,
+        )
+        for spec in BENCHMARKS
+    }
+    sweep.run_specs(
+        [s for r in runners.values() for s in r.uniform_specs([DEFAULT_PAIR])]
+    )
+    phases: Dict[str, Tuple[float, float]] = {
+        name: runner.run_uniform(DEFAULT_PAIR).mean_phases
+        for name, runner in runners.items()
+    }
     return ExperimentResult(
         experiment_id="fig8",
         title="Phase durations per benchmark (default pair)",

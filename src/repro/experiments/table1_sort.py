@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..iosched.registry import SCHEDULER_NAMES, abbrev
 from ..metrics.summary import format_matrix
+from ..runner import SweepRunner
 from ..virt.pair import DEFAULT_PAIR, SchedulerPair
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
@@ -40,9 +41,11 @@ def run(
     scale: float = DEFAULT_SCALE,
     seeds: Sequence[int] = (0, 1, 2),
     durations: Optional[Dict[SchedulerPair, float]] = None,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     if durations is None:
-        durations = run_one_benchmark(SORT, scale=scale, seeds=seeds)
+        durations = run_one_benchmark(SORT, scale=scale, seeds=seeds,
+                                      sweep=sweep)
     return ExperimentResult(
         experiment_id="table1",
         title="Sort runtime matrix (VM rows x VMM columns)",

@@ -12,10 +12,10 @@ into Ph3 at the paper's 4-wave operating point.
 from __future__ import annotations
 
 from statistics import mean
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..core.experiment import JobRunner
 from ..metrics.summary import format_table
+from ..runner import SweepJobRunner, SweepRunner, default_runner
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
 from .common import DEFAULT_SCALE, scaled_testbed
@@ -35,15 +35,17 @@ def run(
     scale: float = DEFAULT_SCALE,
     seeds: Sequence[int] = (0,),
     waves: Sequence[float] = DEFAULT_WAVES,
+    sweep: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Vary the wave count by varying the number of blocks per VM.
 
     Input volume per VM is held constant; the block size shrinks as the
     block count grows, exactly like re-chunking a fixed dataset.
     """
-    pct: Dict[float, float] = {}
+    sweep = sweep if sweep is not None else default_runner()
     bytes_per_vm = int(512 * MB * scale)
     base = scaled_testbed(SORT, scale=scale, seeds=seeds)
+    runners: Dict[float, SweepJobRunner] = {}
     for w in waves:
         blocks_per_vm = max(1, round(w * 2))  # 2 map slots per VM
         block_size = max(1 * MB, bytes_per_vm // blocks_per_vm)
@@ -53,8 +55,17 @@ def run(
                 block_size=block_size,
             )
         )
-        runner = JobRunner(config)
-        outcome = runner.run_uniform(config.cluster.initial_pair)
+        runners[w] = SweepJobRunner(config, sweep, label=f"table2 waves={w}")
+    sweep.run_specs(
+        [
+            s
+            for r in runners.values()
+            for s in r.uniform_specs([r.config.cluster.initial_pair])
+        ]
+    )
+    pct: Dict[float, float] = {}
+    for w, runner in runners.items():
+        outcome = runner.run_uniform(runner.config.cluster.initial_pair)
         pct[w] = mean(
             r.phases.non_concurrent_shuffle_pct for r in outcome.results
         )

@@ -1,0 +1,58 @@
+"""On-disk result cache: one JSON record per executed :class:`RunSpec`.
+
+Layout (content-addressed, two-level fan-out to keep directories small)::
+
+    <root>/ab/abcdef….json
+
+Each record carries the result payload plus enough provenance to make
+the files self-describing (`kind`, `label`, `seed`, package version).
+Corrupted or partial records — an interrupted write, a stray file — are
+treated as misses so the runner falls back to re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Content-addressed store of run results keyed by spec hashes."""
+
+    def __init__(self, root: os.PathLike | str = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            record = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(record, dict) or "result" not in record:
+            return None
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Atomically persist a record (write-to-temp + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(record, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(path)

@@ -1,0 +1,230 @@
+"""Execution kinds: the pure functions a :class:`RunSpec` names.
+
+Every kind takes ``(config, seed)`` and returns a JSON-able payload —
+that is what makes runs executable in worker processes and storable in
+the on-disk cache.  The payloads round-trip through JSON before anyone
+reads them (see :meth:`SweepRunner.run_specs`), so fresh, parallel, and
+cache-hit executions are structurally — and therefore bit- — identical.
+
+The registered kinds cover every simulation the experiment suite runs:
+
+* ``job`` — one MapReduce job under a phase plan (fig2/4/6/7/8, tables);
+* ``chain`` — a multi-job chain under a phase plan (``ablation-chain``);
+* ``sysbench`` — the Fig. 1 sequential-write benchmark;
+* ``instrumented_job`` — a job run exporting throughput samples (fig3);
+* ``dd`` — a parallel-dd run, optionally switching pairs (fig5);
+* ``sort_custom`` — sort with mechanism knockouts (``ablation-mechanisms``);
+* ``online_sort`` — sort under the reactive controller (``ablation-online``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Dict, Tuple
+
+from ..core.chains import ChainRunner
+from ..core.experiment import JobRunner
+from ..core.online import OnlineController, OnlinePolicy
+from ..core.switch_cost import run_dd_once
+from ..hdfs.namenode import NameNode
+from ..iosched.anticipatory import AnticipatoryParams, AnticipatoryScheduler
+from ..mapreduce.jobtracker import MapReduceJob
+from ..mapreduce.phases import JobResult, PhaseTimes
+from ..net.topology import Topology
+from ..sim.core import Environment
+from ..virt.cluster import VirtualCluster
+from ..workloads.sysbench import SysbenchSeqWrite
+from .spec import RunSpec
+
+__all__ = [
+    "KINDS",
+    "register",
+    "execute_spec",
+    "encode_job_result",
+    "decode_job_result",
+]
+
+MB = 1024 * 1024
+
+KINDS: Dict[str, Callable[[Any, int], Dict[str, Any]]] = {}
+
+
+def register(name: str):
+    """Class a function as the executor for ``kind=name``."""
+
+    def deco(fn):
+        KINDS[name] = fn
+        return fn
+
+    return deco
+
+
+def execute_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Run one spec to completion (in whatever process this is)."""
+    try:
+        fn = KINDS[spec.kind]
+    except KeyError:
+        raise ValueError(f"unknown run kind {spec.kind!r}") from None
+    return fn(spec.config, spec.seed)
+
+
+# -- job runs (and their payload codec) -----------------------------------------------
+
+
+def encode_job_result(result: JobResult, switch_stall: float) -> Dict[str, Any]:
+    p = result.phases
+    return {
+        "job_name": result.job_name,
+        "phases": {
+            "start": p.start,
+            "maps_done": p.maps_done,
+            "shuffle_done": p.shuffle_done,
+            "end": p.end,
+        },
+        "n_maps": result.n_maps,
+        "n_reducers": result.n_reducers,
+        "input_bytes": result.input_bytes,
+        "map_output_bytes": result.map_output_bytes,
+        "shuffle_bytes": result.shuffle_bytes,
+        "reduce_output_bytes": result.reduce_output_bytes,
+        "map_progress": [[t, f] for t, f in result.map_progress],
+        "switch_stall": switch_stall,
+    }
+
+
+def decode_job_result(payload: Dict[str, Any]) -> Tuple[JobResult, float]:
+    p = payload["phases"]
+    result = JobResult(
+        job_name=payload["job_name"],
+        phases=PhaseTimes(
+            start=p["start"],
+            maps_done=p["maps_done"],
+            shuffle_done=p["shuffle_done"],
+            end=p["end"],
+        ),
+        n_maps=payload["n_maps"],
+        n_reducers=payload["n_reducers"],
+        input_bytes=payload["input_bytes"],
+        map_output_bytes=payload["map_output_bytes"],
+        shuffle_bytes=payload["shuffle_bytes"],
+        reduce_output_bytes=payload["reduce_output_bytes"],
+        map_progress=[tuple(sample) for sample in payload["map_progress"]],
+    )
+    return result, payload["switch_stall"]
+
+
+@register("job")
+def _run_job(config, seed: int) -> Dict[str, Any]:
+    """config = (TestbedConfig, Solution)."""
+    testbed, solution = config
+    runner = JobRunner(testbed.with_(seeds=(seed,)))
+    result, stall = runner.execute_once(solution, seed)
+    return encode_job_result(result, stall)
+
+
+@register("chain")
+def _run_chain(config, seed: int) -> Dict[str, Any]:
+    """config = (ChainConfig, Solution)."""
+    chain_config, solution = config
+    runner = ChainRunner(replace(chain_config, seeds=(seed,)))
+    duration, phases = runner.execute_once(solution, seed)
+    return {"duration": duration, "phases": list(phases)}
+
+
+# -- workload benchmarks --------------------------------------------------------------
+
+
+@register("sysbench")
+def _run_sysbench(config, seed: int) -> Dict[str, Any]:
+    """config = (ClusterConfig, total_bytes, n_files, vms_per_host)."""
+    cluster_config, total_bytes, n_files, vms_per_host = config
+    env = Environment()
+    cluster = VirtualCluster(env, cluster_config.with_(seed=seed))
+    bench = SysbenchSeqWrite(
+        env,
+        cluster,
+        total_bytes=total_bytes,
+        n_files=n_files,
+        vms_per_host=vms_per_host,
+    )
+    proc = bench.start()
+    env.run(until=proc)
+    return {"elapsed": proc.value}
+
+
+@register("dd")
+def _run_dd(config, seed: int) -> Dict[str, Any]:
+    """config = (ClusterConfig, nbytes, pair, switch_to|None, switch_at|None)."""
+    cluster_config, nbytes, pair, switch_to, switch_at = config
+    elapsed = run_dd_once(
+        cluster_config, pair, seed, nbytes,
+        switch_to=switch_to, switch_at=switch_at,
+    )
+    return {"elapsed": elapsed}
+
+
+# -- instrumented / customised job runs -----------------------------------------------
+
+
+@register("instrumented_job")
+def _run_instrumented_job(config, seed: int) -> Dict[str, Any]:
+    """config = (ClusterConfig, JobConfig); exports throughput samples."""
+    cluster_config, job_config = config
+    env = Environment()
+    cluster = VirtualCluster(env, cluster_config.with_(seed=seed))
+    topology = Topology(env)
+    namenode = NameNode(cluster, block_size=job_config.block_size)
+    job = MapReduceJob(env, cluster, topology, namenode, job_config)
+    proc = job.start()
+    env.run(until=proc)
+    duration = env.now
+    host = cluster.hosts[0]
+    dom0 = [r / MB for r in host.disk.stats.throughput.rates(0.0, duration)]
+    vms = {
+        str(vm.vm_id): [
+            r / MB for r in vm.vdisk.stats.throughput.rates(0.0, duration)
+        ]
+        for vm in host.vms
+    }
+    return {"duration": duration, "dom0": dom0, "vms": vms}
+
+
+@register("sort_custom")
+def _run_sort_custom(config, seed: int) -> Dict[str, Any]:
+    """config = (ClusterConfig, JobConfig, zero_anticipation: bool)."""
+    cluster_config, job_config, zero_anticipation = config
+    env = Environment()
+    cluster = VirtualCluster(env, cluster_config.with_(seed=seed))
+    if zero_anticipation:
+        # Swap before any I/O exists; queues are empty so this is free.
+        for host in cluster.hosts:
+            host.disk.scheduler = AnticipatoryScheduler(
+                params=AnticipatoryParams(antic_expire=1e-9, max_think_time=0.0)
+            )
+    topology = Topology(env)
+    namenode = NameNode(cluster, block_size=job_config.block_size)
+    job = MapReduceJob(env, cluster, topology, namenode, job_config)
+    proc = job.start()
+    env.run(until=proc)
+    return {"duration": proc.value.duration}
+
+
+@register("online_sort")
+def _run_online_sort(config, seed: int) -> Dict[str, Any]:
+    """config = (ClusterConfig, JobConfig); reactive controller attached."""
+    cluster_config, job_config = config
+    env = Environment()
+    cluster = VirtualCluster(env, cluster_config.with_(seed=seed))
+    topology = Topology(env)
+    namenode = NameNode(cluster, block_size=job_config.block_size)
+    job = MapReduceJob(env, cluster, topology, namenode, job_config)
+    controller = OnlineController(env, cluster, OnlinePolicy())
+    proc = job.start()
+
+    def stopper():
+        yield proc
+        controller.stop()
+
+    env.process(stopper())
+    env.run(until=proc)
+    return {"duration": proc.value.duration}

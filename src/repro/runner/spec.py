@@ -1,0 +1,82 @@
+"""Declarative run specifications and their content-addressed keys.
+
+A :class:`RunSpec` names one *simulation run*: a registered execution
+``kind`` (see :mod:`repro.runner.kinds`), the root ``seed``, and a
+``config`` payload built from the ordinary configuration dataclasses
+(:class:`~repro.core.experiment.TestbedConfig`,
+:class:`~repro.virt.cluster.ClusterConfig`, plans, workload specs…).
+Because every run in this codebase is a pure function of
+``(kind, config, seed)`` (DESIGN.md §6 "run-local iteration order"),
+the spec is also a complete cache key: :func:`spec_key` hashes a
+canonical JSON form of the spec plus the package version, and two specs
+with equal keys are guaranteed to produce bit-identical results.
+
+``label`` is display-only and deliberately excluded from the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Optional
+
+__all__ = ["RunSpec", "canonical", "spec_key"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run: what to execute and with which seed."""
+
+    #: Execution kind, resolved via :data:`repro.runner.kinds.KINDS`.
+    kind: str
+    #: Root RNG seed for the run.
+    seed: int
+    #: Kind-specific configuration payload (dataclasses / primitives).
+    config: Any = None
+    #: Human-readable tag for progress output; not part of the key.
+    label: str = ""
+
+    def __str__(self) -> str:
+        return self.label or f"{self.kind} seed={self.seed}"
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce configuration objects to a JSON-stable structure.
+
+    Dataclasses carry their qualified type name so that two different
+    config classes with identical field values hash differently.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if is_dataclass(obj) and not isinstance(obj, type):
+        record = {
+            "__type__": f"{type(obj).__module__}.{type(obj).__qualname__}"
+        }
+        for f in fields(obj):
+            record[f.name] = canonical(getattr(obj, f.name))
+        return record
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        items = sorted((str(k), canonical(v)) for k, v in obj.items())
+        return {"__dict__": items}
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(json.dumps(canonical(v)) for v in obj)}
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__!r} for a RunSpec key"
+    )
+
+
+def spec_key(spec: RunSpec, version: Optional[str] = None) -> str:
+    """Stable content hash of a spec (+ package version) as hex."""
+    if version is None:
+        from .. import __version__ as version
+    payload = {
+        "kind": spec.kind,
+        "seed": spec.seed,
+        "config": canonical(spec.config),
+        "version": version,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,233 @@
+"""The sweep runner: parallel, memoised execution of :class:`RunSpec`s.
+
+``SweepRunner.run_specs`` takes a declarative run matrix and returns the
+result payloads in order, sourcing each one from (in priority order):
+
+1. the in-process memo — a spec never simulates twice in one process,
+   mirroring the per-``Solution`` caching ``JobRunner`` always did;
+2. the on-disk cache (unless constructed with ``use_cache=False``);
+3. fresh execution — inline when ``jobs == 1``, otherwise fanned out
+   over a ``ProcessPoolExecutor`` (worker count from the ``jobs``
+   argument, the ``REPRO_JOBS`` environment variable, or
+   ``os.cpu_count()``).
+
+Every fresh payload is normalised through a JSON round-trip before it is
+memoised, persisted, or returned, so serial, parallel, and cache-hit
+executions hand back bit-identical data structures (asserted in
+``tests/runner/``).  ``stats`` counts executed simulations and cache
+hits; the CLI surfaces the counters after every experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .kinds import execute_spec
+from .spec import RunSpec, spec_key
+
+__all__ = [
+    "SweepRunner",
+    "SweepStats",
+    "default_jobs",
+    "default_runner",
+    "set_default_runner",
+]
+
+
+def default_jobs() -> int:
+    """Worker count: ``$REPRO_JOBS`` or the machine's CPU count."""
+    raw = os.environ.get("REPRO_JOBS")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an int, got {raw!r}") from None
+        if value < 1:
+            raise ValueError(f"REPRO_JOBS must be >= 1, got {value}")
+        return value
+    return os.cpu_count() or 1
+
+
+@dataclass
+class SweepStats:
+    """Counters for one runner's lifetime."""
+
+    #: Simulations actually executed (the expensive number).
+    executed: int = 0
+    #: Results served from the on-disk cache.
+    cache_hits: int = 0
+    #: Results served from the in-process memo.
+    memo_hits: int = 0
+    #: Wall-clock seconds spent inside executed simulations (summed
+    #: across workers, so it can exceed elapsed time under parallelism).
+    run_seconds: float = 0.0
+
+    def snapshot(self) -> "SweepStats":
+        return SweepStats(
+            self.executed, self.cache_hits, self.memo_hits, self.run_seconds
+        )
+
+    def since(self, other: "SweepStats") -> "SweepStats":
+        return SweepStats(
+            self.executed - other.executed,
+            self.cache_hits - other.cache_hits,
+            self.memo_hits - other.memo_hits,
+            self.run_seconds - other.run_seconds,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"simulations executed {self.executed}, "
+            f"cache hits {self.cache_hits}, memo hits {self.memo_hits}"
+        )
+
+
+def _timed_execute(spec: RunSpec) -> Tuple[str, float]:
+    """Worker entry point: run one spec, return (payload JSON, seconds).
+
+    The payload travels as canonical JSON text so the parent decodes
+    fresh results exactly the way it decodes cached ones.
+    """
+    start = time.perf_counter()
+    payload = execute_spec(spec)
+    text = json.dumps(payload, sort_keys=True)
+    return text, time.perf_counter() - start
+
+
+class SweepRunner:
+    """Execute declarative run matrices with memoisation and fan-out."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir: os.PathLike | str = DEFAULT_CACHE_DIR,
+        use_cache: bool = True,
+        progress: Optional[Callable[[RunSpec, float], None]] = None,
+    ):
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if use_cache else None
+        )
+        #: Called as ``progress(spec, seconds)`` after each executed run.
+        self.progress = progress
+        self.stats = SweepStats()
+        self._memo: Dict[str, Any] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # -- execution ------------------------------------------------------------------
+    def run_spec(self, spec: RunSpec) -> Any:
+        return self.run_specs([spec])[0]
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[Any]:
+        """Result payloads for ``specs``, order-preserving."""
+        specs = list(specs)
+        keys = [spec_key(spec) for spec in specs]
+        results: List[Any] = [None] * len(specs)
+        missing: Dict[str, RunSpec] = {}
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            if key in self._memo:
+                results[i] = self._memo[key]
+                self.stats.memo_hits += 1
+                continue
+            if self.cache is not None:
+                record = self.cache.get(key)
+                if record is not None:
+                    self._memo[key] = record["result"]
+                    results[i] = record["result"]
+                    self.stats.cache_hits += 1
+                    continue
+            # Duplicate keys inside one batch simulate once.
+            missing.setdefault(key, spec)
+
+        if missing:
+            self._execute_missing(missing)
+            for i, key in enumerate(keys):
+                if results[i] is None and key in self._memo:
+                    results[i] = self._memo[key]
+        return results
+
+    # -- internals ------------------------------------------------------------------
+    def _execute_missing(self, missing: Dict[str, RunSpec]) -> None:
+        if self.jobs == 1 or len(missing) == 1:
+            for key, spec in missing.items():
+                self._record(key, spec, *_timed_execute(spec))
+            return
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(_timed_execute, spec): (key, spec)
+            for key, spec in missing.items()
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                key, spec = futures[future]
+                text, seconds = future.result()
+                self._record(key, spec, text, seconds)
+
+    def _record(self, key: str, spec: RunSpec, text: str, seconds: float) -> None:
+        # One decode path for fresh, parallel, and cached payloads: the
+        # JSON round-trip is what guarantees bit-identical results.
+        payload = json.loads(text)
+        self._memo[key] = payload
+        if self.cache is not None:
+            from .. import __version__
+
+            self.cache.put(key, {
+                "key": key,
+                "kind": spec.kind,
+                "seed": spec.seed,
+                "label": spec.label,
+                "version": __version__,
+                "seconds": seconds,
+                "result": payload,
+            })
+        self.stats.executed += 1
+        self.stats.run_seconds += seconds
+        if self.progress is not None:
+            self.progress(spec, seconds)
+
+
+#: Process-wide runner used when experiments are called without one.
+_default_runner: Optional[SweepRunner] = None
+
+
+def default_runner() -> SweepRunner:
+    """The shared runner for direct library calls (lazily built)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = SweepRunner()
+    return _default_runner
+
+
+def set_default_runner(runner: Optional[SweepRunner]) -> None:
+    """Install (or clear, with ``None``) the process-wide runner."""
+    global _default_runner
+    if _default_runner is not None and _default_runner is not runner:
+        _default_runner.close()
+    _default_runner = runner

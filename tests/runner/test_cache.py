@@ -1,0 +1,41 @@
+"""On-disk result cache behaviour."""
+
+from repro.runner import ResultCache
+
+KEY = "ab" + "0" * 62
+
+
+def test_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    record = {"key": KEY, "result": {"elapsed": 1.25}}
+    cache.put(KEY, record)
+    assert cache.get(KEY) == record
+
+
+def test_missing_entry_returns_none(tmp_path):
+    assert ResultCache(tmp_path).get(KEY) is None
+
+
+def test_corrupt_json_returns_none(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, {"key": KEY, "result": 1})
+    cache.path_for(KEY).write_text("{not json", encoding="utf-8")
+    assert cache.get(KEY) is None
+
+
+def test_record_without_result_field_returns_none(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, {"key": KEY})
+    assert cache.get(KEY) is None
+
+
+def test_put_is_atomic_no_tmp_left_behind(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, {"key": KEY, "result": 1})
+    leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_entries_shard_by_key_prefix(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.path_for(KEY).parent.name == KEY[:2]

@@ -1,0 +1,76 @@
+"""RunSpec canonicalisation and cache-key stability."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.common import scaled_testbed
+from repro.runner import RunSpec, canonical, spec_key
+from repro.workloads.profiles import SORT
+
+
+def _spec(seed=0, scale=0.05, label=""):
+    return RunSpec(
+        kind="job",
+        seed=seed,
+        config=scaled_testbed(SORT, scale=scale, seeds=(seed,)),
+        label=label,
+    )
+
+
+def test_key_is_stable_across_equal_specs():
+    assert spec_key(_spec()) == spec_key(_spec())
+
+
+def test_label_is_display_only():
+    assert spec_key(_spec(label="a")) == spec_key(_spec(label="b"))
+
+
+def test_seed_changes_key():
+    assert spec_key(_spec(seed=0)) != spec_key(_spec(seed=1))
+
+
+def test_config_field_changes_key():
+    assert spec_key(_spec(scale=0.05)) != spec_key(_spec(scale=0.06))
+
+
+def test_kind_changes_key():
+    a = _spec()
+    b = RunSpec(kind="chain", seed=a.seed, config=a.config, label=a.label)
+    assert spec_key(a) != spec_key(b)
+
+
+def test_version_changes_key():
+    assert spec_key(_spec(), version="1.0.0") != spec_key(_spec(), version="9.9.9")
+
+
+def test_canonical_handles_nested_dataclasses():
+    @dataclass(frozen=True)
+    class Inner:
+        x: int
+
+    @dataclass(frozen=True)
+    class Outer:
+        inner: Inner
+        values: tuple
+
+    out = canonical(Outer(Inner(1), (2, 3)))
+    assert out == canonical(Outer(Inner(1), (2, 3)))
+    assert out != canonical(Outer(Inner(2), (2, 3)))
+
+
+def test_canonical_tags_dataclass_type():
+    @dataclass(frozen=True)
+    class A:
+        x: int
+
+    @dataclass(frozen=True)
+    class B:
+        x: int
+
+    assert canonical(A(1)) != canonical(B(1))
+
+
+def test_canonical_rejects_unserialisable():
+    with pytest.raises(TypeError):
+        canonical(object())
