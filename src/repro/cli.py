@@ -16,6 +16,7 @@ without simulating (``--no-cache`` disables the disk cache).
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
 import time
@@ -23,6 +24,7 @@ from typing import List, Optional
 
 from .experiments import DEFAULT_SCALE, EXPERIMENTS
 from .experiments.common import validate_scale
+from .faults import PRESETS
 from .runner import DEFAULT_CACHE_DIR, RunSpec, SweepRunner, default_jobs
 
 __all__ = ["main"]
@@ -108,14 +110,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress progress and timing output (tables and checks only)",
     )
+    parser.add_argument(
+        "--faults",
+        choices=sorted(PRESETS),
+        default=None,
+        help="fault-injection preset for experiments that support it "
+        "(currently fig9-faults; other figures stay fault-free by "
+        "construction)",
+    )
     return parser
 
 
 def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
-            quiet: bool = False) -> bool:
+            quiet: bool = False, faults: Optional[str] = None) -> bool:
     start = time.time()
     before = sweep.stats.snapshot()
-    result = EXPERIMENTS[exp_id](scale=scale, seeds=seeds, sweep=sweep)
+    fn = EXPERIMENTS[exp_id]
+    kwargs = dict(scale=scale, seeds=seeds, sweep=sweep)
+    if faults is not None:
+        if "faults" not in inspect.signature(fn).parameters:
+            print(
+                f"repro: note: {exp_id} does not take faults; "
+                "--faults ignored (the figure is fault-free by construction)",
+                file=sys.stderr,
+            )
+        else:
+            kwargs["faults"] = faults
+    result = fn(**kwargs)
     rendered = result.render()
     delta = sweep.stats.since(before)
     print(rendered)
@@ -148,7 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     with sweep:
         for exp_id in ids:
             ok = run_one(exp_id, sweep, args.scale, args.seeds,
-                         quiet=args.quiet) and ok
+                         quiet=args.quiet, faults=args.faults) and ok
     return 0 if ok else 1
 
 

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from statistics import mean
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..hdfs.namenode import NameNode
 from ..mapreduce.job import JobConfig
 from ..mapreduce.jobtracker import MapReduceJob
@@ -83,10 +85,13 @@ class RunOutcome:
 class JobRunner:
     """Executes plans on freshly built testbeds and caches outcomes."""
 
-    def __init__(self, config: TestbedConfig, trace_factory=None):
+    def __init__(self, config: TestbedConfig, trace_factory=None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.config = config
         #: Optional callable(seed) -> TraceBus for instrumented runs.
         self.trace_factory = trace_factory
+        #: Optional fault plan applied to every run (None = fault-free).
+        self.fault_plan = fault_plan
         self._cache: Dict[Solution, RunOutcome] = {}
         self.runs_executed = 0
 
@@ -136,10 +141,17 @@ class JobRunner:
             block_size=self.config.job.block_size,
             replication=self.config.job.replication,
         )
+        plan = self.fault_plan
         job = MapReduceJob(
-            env, cluster, topology, namenode, self.config.job, trace=trace
+            env, cluster, topology, namenode, self.config.job, trace=trace,
+            fault_plan=plan,
         )
         proc = job.start()
+        if plan is not None and plan.is_active:
+            FaultInjector(
+                env, cluster, plan, manager=job.attempts, trace=trace,
+                stats=job.extra_fault_stats,
+            )
 
         stall_total = [0.0]
         if solution.n_switches > 0:

@@ -77,6 +77,8 @@ class ElevatorQueue(abc.ABC):
         self._switching = False
         self._switch_waiters: List[Event] = []
         self.switch_count = 0
+        #: True while dispatch is administratively frozen (VM pause).
+        self._paused = False
 
         self._wakeup: Event = env.event()
         self._proc = env.process(self._run())
@@ -142,6 +144,26 @@ class ElevatorQueue(abc.ABC):
             )
         self._kick()
         return request.completion
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def pause(self) -> None:
+        """Stop dispatching new requests (fault injection: VM pause).
+
+        Requests already in service (or in the backend ring) drain
+        normally; arrivals keep queueing and are admitted on
+        :meth:`resume`.  Idempotent.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Restart the dispatch loop after :meth:`pause`."""
+        if not self._paused:
+            return
+        self._paused = False
+        self._kick()
 
     def switch_scheduler(self, factory: Callable[[], IOScheduler]) -> Event:
         """Replace the elevator; returns an event fired when installed.
@@ -251,6 +273,10 @@ class ElevatorQueue(abc.ABC):
     def _run(self):
         env = self.env
         while True:
+            if self._paused:
+                self._wakeup = env.event()
+                yield self._wakeup
+                continue
             if not self._can_dispatch:
                 # Service path saturated (spindle busy / ring full).
                 self._wakeup = env.event()
@@ -292,6 +318,10 @@ class ElevatorQueue(abc.ABC):
                 op=request.op.value,
                 nbytes=request.nbytes,
                 process=request.process_id,
+                # Requests absorbed by elevator merging complete here
+                # too; listing them lets auditors prove every submitted
+                # rid completes exactly once.
+                merged_rids=request.all_rids()[1:],
             )
         for event in request.all_completions():
             event.succeed(request)
@@ -318,6 +348,11 @@ class DiskDevice(ElevatorQueue):
         self.model = model
         self.stats = stats or DeviceStats()
         self.in_flight: Optional[BlockRequest] = None
+        #: Fault-injection knobs: multiplicative service-time slowdown
+        #: and additive per-request latency.  The defaults (×1.0, +0.0)
+        #: leave modelled service times bit-identical.
+        self.service_scale = 1.0
+        self.extra_latency = 0.0
         super().__init__(env, scheduler, name, trace, switch_control_latency,
                          quiesce_holds_arrivals)
 
@@ -334,12 +369,13 @@ class DiskDevice(ElevatorQueue):
         self.in_flight = request
         request.dispatch_time = env.now
         breakdown = self.model.service(request)
-        yield env.timeout(breakdown.total)
+        service_time = breakdown.total * self.service_scale + self.extra_latency
+        yield env.timeout(service_time)
         self.in_flight = None
         request.complete_time = env.now  # stats need it before _completed
         self.stats.on_complete(
             request,
-            breakdown.total,
+            service_time,
             breakdown.seek,
             breakdown.rotation,
             breakdown.transfer,

@@ -156,3 +156,10 @@ class BlockRequest:
         for child in self.merged_children:
             events.extend(child.all_completions())
         return events
+
+    def all_rids(self) -> List[int]:
+        """This request's rid plus every (transitively) merged rid."""
+        rids = [self.rid]
+        for child in self.merged_children:
+            rids.extend(child.all_rids())
+        return rids

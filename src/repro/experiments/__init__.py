@@ -16,6 +16,7 @@ from . import (
     fig6_phase_scores,
     fig7_adaptive,
     fig8_phases,
+    fig9_faults,
     table1_sort,
     table2_waves,
 )
@@ -35,6 +36,7 @@ EXPERIMENTS = {
     "fig7c": fig7_adaptive.run_datasize,
     "fig7d": fig7_adaptive.run_cluster_scale,
     "fig8": fig8_phases.run,
+    "fig9-faults": fig9_faults.run,
     "table1": table1_sort.run,
     "table2": table2_waves.run,
     "ablation-mechanisms": ablations.run_mechanisms,

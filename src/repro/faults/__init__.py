@@ -1,0 +1,41 @@
+"""Fault injection: seed-deterministic perturbations of a running job.
+
+The paper's measurements assume every map wave completes cleanly; real
+virtualized Hadoop deployments are dominated by stragglers and
+transient disk/VM faults.  This package adds that axis:
+
+* :class:`FaultPlan` — a frozen, canonicalisable description of the
+  faults to inject (disk slow-down episodes, VM pauses/crashes,
+  task-attempt failures) plus the speculative-execution policy;
+* :class:`FaultInjector` — the simulation processes that realise a
+  plan against a :class:`~repro.virt.cluster.VirtualCluster`;
+* :data:`PRESETS` — named plans (``none``/``light``/``heavy``) exposed
+  through the CLI's ``--faults`` option.
+
+Every random decision draws from dedicated ``faults.*`` RNG streams
+derived from the run's root seed, so a fault plan never perturbs the
+fault-free simulation and two runs of the same plan are bit-identical.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    NO_FAULTS,
+    DiskFaults,
+    FaultPlan,
+    SpeculationConfig,
+    TaskFaults,
+    VmFaults,
+)
+from .presets import PRESETS, get_preset
+
+__all__ = [
+    "DiskFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "NO_FAULTS",
+    "PRESETS",
+    "SpeculationConfig",
+    "TaskFaults",
+    "VmFaults",
+    "get_preset",
+]

@@ -1,0 +1,64 @@
+"""Named fault plans for the CLI's ``--faults`` option.
+
+Timings are in simulated seconds and sized against the experiments'
+scaled sort job (a few hundred simulated seconds at the default scale),
+so ``light`` produces a handful of episodes and retries per run and
+``heavy`` keeps the recovery machinery visibly busy without stalling
+the job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .plan import (
+    NO_FAULTS,
+    DiskFaults,
+    FaultPlan,
+    SpeculationConfig,
+    TaskFaults,
+    VmFaults,
+)
+
+__all__ = ["PRESETS", "get_preset"]
+
+LIGHT = FaultPlan(
+    disk=DiskFaults(slow_interval_s=60.0, slow_factor=2.0, slow_duration_s=8.0),
+    vms=VmFaults(pause_interval_s=90.0, pause_duration_s=2.0),
+    tasks=TaskFaults(map_fail_prob=0.05, reduce_fail_prob=0.03),
+    speculation=SpeculationConfig(enabled=True),
+)
+
+HEAVY = FaultPlan(
+    disk=DiskFaults(
+        slow_interval_s=30.0,
+        slow_factor=4.0,
+        slow_duration_s=12.0,
+        spike_latency_s=0.010,
+    ),
+    vms=VmFaults(
+        pause_interval_s=45.0,
+        pause_duration_s=5.0,
+        crash_prob=0.10,
+        crash_window_s=60.0,
+        max_crashes=2,
+    ),
+    tasks=TaskFaults(map_fail_prob=0.15, reduce_fail_prob=0.10),
+    speculation=SpeculationConfig(enabled=True),
+)
+
+PRESETS: Dict[str, FaultPlan] = {
+    "none": NO_FAULTS,
+    "light": LIGHT,
+    "heavy": HEAVY,
+}
+
+
+def get_preset(name: str) -> FaultPlan:
+    """Look up a preset plan by name (``none``/``light``/``heavy``)."""
+    try:
+        return PRESETS[name.strip().lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

@@ -12,6 +12,7 @@ from ..hdfs.blocks import HdfsFile
 from ..hdfs.datanode import DataNodeService
 from ..hdfs.namenode import NameNode
 from ..sim.events import AllOf, Event
+from .attempts import AttemptManager
 from .job import JobConfig
 from .map_task import MapTask, map_task_proc
 from .phases import JobResult, PhaseTimes
@@ -19,6 +20,7 @@ from .reduce_task import ReduceTask, reduce_task_proc
 from .shuffle import ShuffleService
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import FaultPlan
     from ..net.topology import Topology
     from ..sim.core import Environment
     from ..sim.tracing import TraceBus
@@ -61,6 +63,11 @@ class TaskPool:
         self.stolen += 1
         return MapTask(task_id=task.task_id, block=task.block, vm_id=vm_id)
 
+    def evict(self, vm_id: str) -> List[MapTask]:
+        """Remove and return a (crashed) VM's still-queued local tasks."""
+        queue = self._local.pop(vm_id, None)
+        return list(queue) if queue else []
+
 
 @dataclass
 class JobContext:
@@ -76,6 +83,8 @@ class JobContext:
     output_file: HdfsFile
     trace: Optional["TraceBus"] = None
     rng: Optional[np.random.Generator] = None
+    #: Attempt/recovery control plane; bound by MapReduceJob._prepare.
+    attempts: Optional["AttemptManager"] = None
     maps_finished: int = 0
     n_maps: int = 0
     maps_done_event: Optional[Event] = None
@@ -142,6 +151,7 @@ class MapReduceJob:
         namenode: NameNode,
         config: JobConfig,
         trace: Optional["TraceBus"] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ):
         self.env = env
         self.cluster = cluster
@@ -149,6 +159,11 @@ class MapReduceJob:
         self.namenode = namenode
         self.config = config
         self.trace = trace
+        self.fault_plan = fault_plan
+        self.attempts: Optional[AttemptManager] = None
+        #: Extra counters merged into JobResult.fault_stats (the fault
+        #: injector deposits its episode counts here).
+        self.extra_fault_stats: Dict[str, int] = {}
         # Ensure every host is on the network.
         for host in cluster.hosts:
             topology.add_host(host.name)
@@ -203,18 +218,44 @@ class MapReduceJob:
         self.ctx = ctx
         self._pool = TaskPool(tasks)
         self._input_file = input_file
+        self.attempts = AttemptManager(
+            self.env,
+            ctx,
+            self._pool,
+            plan=self.fault_plan,
+            rng=self.cluster.rng,
+            trace=self.trace,
+        )
+        ctx.attempts = self.attempts
 
     # -- execution --------------------------------------------------------------------
     def _map_worker(self, vm_id: str):
+        mgr = self.attempts
         while True:
-            task = self._pool.take(vm_id)
-            if task is None:
+            claim = mgr.claim_map(vm_id)
+            if claim is None:
                 return
-            yield self.env.process(map_task_proc(self.ctx, task))
+            if isinstance(claim, Event):
+                # No placeable work right now, but retries/speculation
+                # may still produce some: park until the manager wakes us.
+                yield claim
+                continue
+            yield self.env.process(map_task_proc(self.ctx, claim.task, claim))
+            mgr.map_attempt_done(claim)
 
     def _reduce_worker(self, task: ReduceTask):
         yield self.ctx.reducers_may_start
-        yield self.env.process(reduce_task_proc(self.ctx, task))
+        mgr = self.attempts
+        attempt = mgr.start_reduce(task)
+        if attempt is None:
+            # Fault-free path: exactly the historical single execution.
+            yield self.env.process(reduce_task_proc(self.ctx, task))
+            return
+        while attempt is not None:
+            yield self.env.process(
+                reduce_task_proc(self.ctx, attempt.task, attempt)
+            )
+            attempt = mgr.reduce_attempt_done(attempt)
 
     def _run(self):
         ctx = self.ctx
@@ -253,6 +294,8 @@ class MapReduceJob:
             else end,
             end=end,
         )
+        fault_stats = self.attempts.fault_stats()
+        fault_stats.update(self.extra_fault_stats)
         return JobResult(
             job_name=cfg.spec.name,
             phases=phases,
@@ -263,4 +306,5 @@ class MapReduceJob:
             shuffle_bytes=ctx.shuffle.shuffled_bytes,
             reduce_output_bytes=ctx.reduce_output_bytes,
             map_progress=list(ctx.map_progress),
+            fault_stats=fault_stats,
         )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from ..hdfs.blocks import HdfsBlock
 from ..virt.fs import GuestFile
@@ -11,6 +11,7 @@ from .job import MB
 from .shuffle import MapOutput
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .attempts import TaskAttempt
     from .jobtracker import JobContext
 
 __all__ = ["MapTask", "map_task_proc"]
@@ -29,7 +30,8 @@ class MapTask:
         return self.vm_id in self.block.replicas
 
 
-def map_task_proc(ctx: "JobContext", task: "MapTask"):
+def map_task_proc(ctx: "JobContext", task: "MapTask",
+                  attempt: Optional["TaskAttempt"] = None):
     """Generator implementing one map task's life.
 
     Per the paper's workload characterisation, this interleaves:
@@ -37,18 +39,32 @@ def map_task_proc(ctx: "JobContext", task: "MapTask"):
     spill writes once the sort buffer passes its threshold, with
     combiner CPU applied pre-spill; and a final merge pass when multiple
     spills exist.
+
+    ``attempt`` carries the fault-injection contract: the generator
+    polls :meth:`~repro.mapreduce.attempts.TaskAttempt.should_abort` at
+    chunk/spill/merge boundaries (cooperative checkpoints — aborting is
+    only legal between I/O operations, like a JVM exiting between
+    records) and registers its output only if it wins
+    :meth:`~repro.mapreduce.attempts.AttemptManager.claim_success`.
+    Retried attempts suffix their scratch file names so rival attempts
+    sharing a VM never collide.
     """
     spec = ctx.config.spec
     cfg = ctx.config
     vm = ctx.cluster.vm(task.vm_id)
     pid = f"map{task.task_id}@{task.vm_id}"
     block = task.block
+    # Attempt 0 keeps the historical names (bit-identical fault-free runs).
+    suffix = "" if attempt is None or attempt.number == 0 else f".a{attempt.number}"
 
     buffer_limit = cfg.sort_buffer_bytes * cfg.spill_threshold
     buffered_raw = 0.0
     spills: List[GuestFile] = []
     spill_bytes: List[float] = []
     out_written = 0.0
+
+    def aborted(progress: float) -> bool:
+        return attempt is not None and attempt.should_abort(progress)
 
     def spill():
         nonlocal buffered_raw, out_written
@@ -63,7 +79,7 @@ def map_task_proc(ctx: "JobContext", task: "MapTask"):
         to_disk = raw * (spec.map_output_ratio / spec.emit_ratio) if spec.emit_ratio else 0.0
         if to_disk <= 0:
             return
-        f = vm.create_file(f"spill_{task.task_id}_{len(spills)}", int(to_disk))
+        f = vm.create_file(f"spill_{task.task_id}_{len(spills)}{suffix}", int(to_disk))
         yield from vm.write_file(f, 0, int(to_disk), pid)
         spills.append(f)
         spill_bytes.append(to_disk)
@@ -72,6 +88,8 @@ def map_task_proc(ctx: "JobContext", task: "MapTask"):
     # -- input + map + spill loop -----------------------------------------------
     pos = 0
     while pos < block.size_bytes:
+        if aborted(0.8 * pos / block.size_bytes):
+            return None
         chunk = min(cfg.io_chunk_bytes, block.size_bytes - pos)
         yield from ctx.dn.read_block(block, task.vm_id, pid, pos, chunk)
         if spec.map_cpu_s_per_mb > 0:
@@ -83,10 +101,14 @@ def map_task_proc(ctx: "JobContext", task: "MapTask"):
     yield from spill()
 
     # -- merge spills into the final map output ------------------------------------
+    if aborted(0.8):
+        return None
     total_out = sum(spill_bytes)
     if len(spills) > 1:
-        merged = vm.create_file(f"mapout_{task.task_id}", int(total_out))
-        for f, size in zip(spills, spill_bytes):
+        merged = vm.create_file(f"mapout_{task.task_id}{suffix}", int(total_out))
+        for i, (f, size) in enumerate(zip(spills, spill_bytes)):
+            if aborted(0.8 + 0.2 * i / len(spills)):
+                return None
             # Spill data is usually still in the page cache; a cold
             # chunk costs a real read.
             yield from vm.read_file(f, 0, int(size), pid)
@@ -98,6 +120,9 @@ def map_task_proc(ctx: "JobContext", task: "MapTask"):
     else:
         out_file = None
 
+    if attempt is not None and not ctx.attempts.claim_success(attempt):
+        # Killed, or a rival attempt registered first: discard quietly.
+        return None
     output = MapOutput(
         map_id=task.task_id,
         vm_id=task.vm_id,

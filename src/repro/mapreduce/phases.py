@@ -79,6 +79,10 @@ class JobResult:
     reduce_output_bytes: float = 0.0
     #: (time, fraction-of-maps-finished) progress samples.
     map_progress: List[Tuple[float, float]] = field(default_factory=list)
+    #: Attempt/recovery counters (empty for fault-free runs): attempt
+    #: totals, retries, speculative launches, kills, plus injector
+    #: episode counts.  See :mod:`repro.faults`.
+    fault_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def duration(self) -> float:
@@ -86,8 +90,14 @@ class JobResult:
 
     def summary(self) -> str:
         p = self.phases
-        return (
+        base = (
             f"{self.job_name}: {p.duration:.1f}s "
             f"(map {p.ph1:.1f}s, shuffle {p.ph2:.1f}s, reduce {p.ph3:.1f}s; "
             f"{self.n_maps} maps, {self.n_reducers} reducers)"
         )
+        if self.fault_stats:
+            retries = self.fault_stats.get("map_retries", 0) + \
+                self.fault_stats.get("reduce_retries", 0)
+            spec = self.fault_stats.get("map_speculative", 0)
+            base += f" [faults: {retries} retries, {spec} speculative]"
+        return base

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from ..sim.events import AllOf
 from ..sim.resources import Resource
@@ -12,6 +12,7 @@ from .job import MB
 from .shuffle import MapOutput
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .attempts import TaskAttempt
     from .jobtracker import JobContext
 
 __all__ = ["ReduceTask", "reduce_task_proc"]
@@ -25,7 +26,8 @@ class ReduceTask:
     vm_id: str
 
 
-def reduce_task_proc(ctx: "JobContext", task: "ReduceTask"):
+def reduce_task_proc(ctx: "JobContext", task: "ReduceTask",
+                     attempt: Optional["TaskAttempt"] = None):
     """Generator implementing one reduce task.
 
     Three stages, matching the paper's phase analysis:
@@ -38,6 +40,13 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask"):
     3. **Reduce + output**: reduce CPU interleaved with the replicated
        HDFS write pipeline (local buffered write + network + remote
        buffered write).
+
+    ``attempt`` adds the fault contract (see
+    :func:`~repro.mapreduce.map_task.map_task_proc`).  A first attempt
+    consumes map-output descriptors from its reducer queue exactly like
+    the fault-free path; *retried* attempts instead walk the shuffle
+    service's registration list (their queue was drained by the dead
+    attempt) and wait on registration events for outputs still to come.
     """
     spec = ctx.config.spec
     cfg = ctx.config
@@ -46,6 +55,7 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask"):
     n_reducers = ctx.shuffle.n_reducers
     n_maps = ctx.shuffle.n_maps
     queue = ctx.shuffle.queues[task.reducer_idx]
+    suffix = "" if attempt is None or attempt.number == 0 else f".a{attempt.number}"
 
     fetch_slots = Resource(ctx.env, capacity=cfg.max_parallel_fetches)
     mem_buffered = 0.0
@@ -53,6 +63,9 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask"):
     spills: List[GuestFile] = []
     spill_bytes: List[float] = []
     spill_lock = Resource(ctx.env, capacity=1)
+
+    def aborted(progress: float) -> bool:
+        return attempt is not None and attempt.should_abort(progress)
 
     def fetch_one(desc: MapOutput):
         nonlocal mem_buffered, total_input
@@ -87,7 +100,7 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask"):
                     yield lock
                     if mem_buffered >= cfg.shuffle_buffer_bytes:
                         yield from spill_to_disk()
-        ctx.shuffle.note_fetch_complete(nbytes)
+        ctx.shuffle.note_fetch_complete(task.reducer_idx, desc.map_id, nbytes)
 
     def spill_to_disk():
         nonlocal mem_buffered
@@ -97,7 +110,7 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask"):
             return
         yield ctx.compute(vm, spec.sort_cpu_s_per_mb * amount / MB, pid)
         f = vm.create_file(
-            f"rspill_{task.reducer_idx}_{len(spills)}", int(amount)
+            f"rspill_{task.reducer_idx}_{len(spills)}{suffix}", int(amount)
         )
         yield from vm.write_file(f, 0, int(amount), pid)
         spills.append(f)
@@ -105,14 +118,31 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask"):
 
     # -- stage 1: shuffle ------------------------------------------------------------
     fetchers = []
-    for _ in range(n_maps):
-        desc = yield queue.get()
-        fetchers.append(ctx.env.process(fetch_one(desc)))
+    if attempt is None or attempt.number == 0:
+        for i in range(n_maps):
+            if aborted(0.5 * i / n_maps):
+                return None
+            desc = yield queue.get()
+            fetchers.append(ctx.env.process(fetch_one(desc)))
+    else:
+        # Retry path: replay the registration log, then wait for the rest.
+        seen = 0
+        while seen < n_maps:
+            if aborted(0.5 * seen / n_maps):
+                return None
+            if seen < len(ctx.shuffle.outputs):
+                desc = ctx.shuffle.outputs[seen]
+                seen += 1
+                fetchers.append(ctx.env.process(fetch_one(desc)))
+            else:
+                yield ctx.shuffle.wait_register()
     if fetchers:
         yield AllOf(ctx.env, fetchers)
 
     # -- stage 2: merge --------------------------------------------------------------
-    for f, size in zip(spills, spill_bytes):
+    for i, (f, size) in enumerate(zip(spills, spill_bytes)):
+        if aborted(0.5 + 0.2 * i / len(spills)):
+            return None
         yield from vm.read_file(f, 0, int(size), pid)
     if total_input > 0:
         yield ctx.compute(vm, spec.sort_cpu_s_per_mb * total_input / MB, pid)
@@ -122,6 +152,8 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask"):
     out_file = ctx.output_file
     written = 0
     while written < out_bytes:
+        if aborted(0.7 + 0.3 * written / out_bytes):
+            return None
         block_size = min(cfg.block_size, out_bytes - written)
         block = ctx.namenode.add_block(out_file, block_size, task.vm_id)
         if spec.reduce_cpu_s_per_mb > 0:
@@ -138,5 +170,7 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask"):
         # Output-light jobs still run the reduce function over all input.
         yield ctx.compute(vm, spec.reduce_cpu_s_per_mb * total_input / MB, pid)
 
+    if attempt is not None and not ctx.attempts.claim_success(attempt):
+        return None
     ctx.on_reduce_finished(task, total_input, out_bytes)
     return total_input

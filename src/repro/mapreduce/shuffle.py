@@ -55,7 +55,11 @@ class ShuffleService:
         self.n_maps = n_maps
         self.queues: List[Store] = [Store(env) for _ in range(n_reducers)]
         self.registered = 0
-        self._fetches_done = 0
+        #: Registration-order bookkeeping list.  Retried reduce attempts
+        #: read from here instead of their (already drained) queue.
+        self.outputs: List[MapOutput] = []
+        self._register_waiters: List[Event] = []
+        self._fetched_pairs: set = set()
         self.shuffle_done: Event = env.event()
         self.total_map_output_bytes = 0.0
         self.shuffled_bytes = 0.0
@@ -66,19 +70,38 @@ class ShuffleService:
             raise RuntimeError("more map outputs than maps")
         self.registered += 1
         self.total_map_output_bytes += output.total_bytes
+        self.outputs.append(output)
         for queue in self.queues:
             queue.put(output)
+        waiters, self._register_waiters = self._register_waiters, []
+        for waiter in waiters:
+            waiter.succeed(output)
 
-    def note_fetch_complete(self, nbytes: float) -> None:
-        """A reducer finished pulling one partition."""
-        self._fetches_done += 1
+    def wait_register(self) -> Event:
+        """Event fired at the next :meth:`register` (retry attempts)."""
+        waiter = self.env.event()
+        self._register_waiters.append(waiter)
+        return waiter
+
+    def note_fetch_complete(self, reducer_idx: int, map_id: int,
+                            nbytes: float) -> None:
+        """A reducer finished pulling one partition.
+
+        Keyed by ``(reducer, map)`` pair so that re-fetches by retried
+        reduce attempts neither inflate the logical shuffle volume nor
+        double-count towards the shuffle-done boundary.
+        """
+        pair = (reducer_idx, map_id)
+        if pair in self._fetched_pairs:
+            return
+        self._fetched_pairs.add(pair)
         self.shuffled_bytes += nbytes
         if (
-            self._fetches_done >= self.n_maps * self.n_reducers
+            len(self._fetched_pairs) >= self.n_maps * self.n_reducers
             and not self.shuffle_done.triggered
         ):
             self.shuffle_done.succeed(self.env.now)
 
     @property
     def fetches_remaining(self) -> int:
-        return self.n_maps * self.n_reducers - self._fetches_done
+        return self.n_maps * self.n_reducers - len(self._fetched_pairs)

@@ -14,7 +14,8 @@ The registered kinds cover every simulation the experiment suite runs:
 * ``instrumented_job`` — a job run exporting throughput samples (fig3);
 * ``dd`` — a parallel-dd run, optionally switching pairs (fig5);
 * ``sort_custom`` — sort with mechanism knockouts (``ablation-mechanisms``);
-* ``online_sort`` — sort under the reactive controller (``ablation-online``).
+* ``online_sort`` — sort under the reactive controller (``ablation-online``);
+* ``faulty_job`` — a job run under a fault plan (``fig9-faults``).
 """
 
 from __future__ import annotations
@@ -109,6 +110,7 @@ def decode_job_result(payload: Dict[str, Any]) -> Tuple[JobResult, float]:
         shuffle_bytes=payload["shuffle_bytes"],
         reduce_output_bytes=payload["reduce_output_bytes"],
         map_progress=[tuple(sample) for sample in payload["map_progress"]],
+        fault_stats=dict(payload.get("faults", {})),
     )
     return result, payload["switch_stall"]
 
@@ -120,6 +122,25 @@ def _run_job(config, seed: int) -> Dict[str, Any]:
     runner = JobRunner(testbed.with_(seeds=(seed,)))
     result, stall = runner.execute_once(solution, seed)
     return encode_job_result(result, stall)
+
+
+@register("faulty_job")
+def _run_faulty_job(config, seed: int) -> Dict[str, Any]:
+    """config = (TestbedConfig, Solution, FaultPlan).
+
+    A separate kind (rather than a field on ``job``) so fault-free
+    specs keep their historical cache keys: :func:`~repro.runner.spec.canonical`
+    hashes every config field, and ``job`` configs never mention
+    faults.  The payload is the ``job`` payload plus a ``faults``
+    sub-dict of attempt/injector counters.
+    """
+    testbed, solution, plan = config
+    runner = JobRunner(testbed.with_(seeds=(seed,)), fault_plan=plan)
+    result, stall = runner.execute_once(solution, seed)
+    payload = encode_job_result(result, stall)
+    payload["faults"] = {k: result.fault_stats[k]
+                         for k in sorted(result.fault_stats)}
+    return payload
 
 
 @register("chain")

@@ -50,6 +50,7 @@ class ProcessorSharingCPU:
         self._jid = 0
         self._last_update = env.now
         self._generation = 0
+        self._paused = False
         #: Total work completed (for utilisation accounting).
         self.completed_work = 0.0
         self.busy_time = 0.0
@@ -76,13 +77,40 @@ class ProcessorSharingCPU:
         self._reschedule()
         return job
 
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def pause(self) -> None:
+        """Freeze the CPU: running jobs stop accruing progress.
+
+        Models a hypervisor-level VM pause — the vCPU is descheduled,
+        so in-flight work neither completes nor advances until
+        :meth:`resume`.  Jobs submitted while paused queue up and start
+        sharing the CPU on resume.
+        """
+        if self._paused:
+            return
+        self._advance()
+        self._paused = True
+        # Invalidate any scheduled completion wakeups.
+        self._generation += 1
+
+    def resume(self) -> None:
+        """Unfreeze the CPU; progress accrual restarts from now."""
+        if not self._paused:
+            return
+        self._paused = False
+        self._last_update = self.env.now
+        self._reschedule()
+
     # -- internals -----------------------------------------------------------
     def _advance(self) -> None:
         """Charge elapsed progress to every running job."""
         now = self.env.now
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0 or not self._jobs:
+        if self._paused or dt <= 0 or not self._jobs:
             return
         rate = self.capacity / len(self._jobs)
         done = dt * rate
@@ -97,7 +125,7 @@ class ProcessorSharingCPU:
     def _reschedule(self) -> None:
         """Schedule a wakeup at the earliest next completion."""
         self._generation += 1
-        if not self._jobs:
+        if self._paused or not self._jobs:
             return
         gen = self._generation
         rate = self.capacity / len(self._jobs)

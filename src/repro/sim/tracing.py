@@ -32,11 +32,37 @@ class TraceBus:
         self.records: List[TraceRecord] = []
 
     def subscribe(self, topic: str, callback: Callable[[TraceRecord], None]) -> None:
-        """Invoke ``callback`` for every record published on ``topic``."""
+        """Invoke ``callback`` for every record published on ``topic``.
+
+        Subscribing the same callback twice is allowed and means two
+        invocations per record (mirroring signal/slot conventions);
+        each registration needs its own :meth:`unsubscribe`.
+        """
         self._subscribers[topic].append(callback)
 
+    def unsubscribe(self, topic: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Remove one registration of ``callback`` from ``topic``.
+
+        Safe to call from inside a callback during :meth:`publish` —
+        the in-flight publication still delivers to the subscriber list
+        as it stood when the record was published.
+        """
+        try:
+            self._subscribers[topic].remove(callback)
+        except ValueError:
+            raise KeyError(
+                f"callback not subscribed to topic {topic!r}"
+            ) from None
+
     def record_topic(self, topic: str) -> None:
-        """Keep all records for ``topic`` in :attr:`records`."""
+        """Keep all records for ``topic`` in :attr:`records`.
+
+        Recording starts at the time of this call: records published on
+        ``topic`` beforehand were dropped (publish is a no-op without
+        listeners) and are *not* retroactively recovered, but earlier
+        records delivered to subscribers of other recorded topics are
+        unaffected.  Calling this twice is a no-op.
+        """
         self._recorded_topics.add(topic)
 
     def publish(self, time: float, topic: str, **payload: Any) -> None:
@@ -49,7 +75,10 @@ class TraceBus:
         if keep:
             self.records.append(record)
         if subs:
-            for callback in subs:
+            # Iterate a snapshot so callbacks may subscribe/unsubscribe
+            # (previously this crashed with "list modified during
+            # iteration" when a callback unsubscribed itself).
+            for callback in tuple(subs):
                 callback(record)
 
     def recorded(self, topic: str) -> List[TraceRecord]:

@@ -47,6 +47,11 @@ class VM:
         self.env = env
         self.vm_id = vm_id
         self.host_name: Optional[str] = None  # set by PhysicalHost.add_vm
+        self.trace = trace
+        #: Fault-injection state: paused VMs make no progress; crashed
+        #: VMs stop receiving work (see :meth:`crash`).
+        self.paused = False
+        self.crashed = False
         self.vdisk = VirtualBlockDevice(
             env,
             guest_scheduler_factory(),
@@ -76,11 +81,21 @@ class VM:
 
     def read_file(self, file: GuestFile, offset: int, length: int, pid: Any):
         """Generator: read through the page cache."""
+        if self.trace is not None:
+            self.trace.publish(
+                self.env.now, "fs.read", vm=self.vm_id, file=file.name,
+                offset=offset, length=length, process=pid,
+            )
         yield from self.cache.read(file, offset, length, pid)
 
     def write_file(self, file: GuestFile, offset: int, length: int, pid: Any,
                    sync: bool = False):
         """Generator: write through the page cache (buffered by default)."""
+        if self.trace is not None:
+            self.trace.publish(
+                self.env.now, "fs.write", vm=self.vm_id, file=file.name,
+                offset=offset, length=length, process=pid,
+            )
         yield from self.cache.write(file, offset, length, pid, sync=sync)
 
     def fsync(self, file: GuestFile, pid: Any):
@@ -90,6 +105,38 @@ class VM:
     def compute(self, seconds_of_work: float, label: Any = None) -> CPUJob:
         """Submit CPU work; the event fires when the vCPU finishes it."""
         return self.cpu.execute(seconds_of_work, label)
+
+    # -- fault injection -----------------------------------------------------------
+    def pause(self) -> None:
+        """Freeze the guest: vCPU stops and the vdisk dispatches nothing.
+
+        I/O already forwarded to the backend drains (the host does not
+        stop), matching a hypervisor pause.  Idempotent.
+        """
+        if self.paused:
+            return
+        self.paused = True
+        self.cpu.pause()
+        self.vdisk.pause()
+
+    def resume(self) -> None:
+        """Unfreeze a paused guest."""
+        if not self.paused:
+            return
+        self.paused = False
+        self.cpu.resume()
+        self.vdisk.resume()
+
+    def crash(self) -> None:
+        """Kill the guest's TaskTracker: no new work lands here.
+
+        Deliberately a *compute* crash, not a storage loss — running
+        attempts are killed by the JobTracker and the VM receives no
+        further tasks, but its disk image (and already-written map
+        outputs) stays readable so reducers can still fetch from it and
+        the simulation cannot deadlock on vanished data.
+        """
+        self.crashed = True
 
     # -- control plane ------------------------------------------------------------
     def switch_scheduler(self, factory: Callable[[], IOScheduler]) -> Event:

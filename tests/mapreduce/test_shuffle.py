@@ -48,12 +48,25 @@ def test_shuffle_done_after_all_fetches():
     env = Environment()
     svc = ShuffleService(env, n_reducers=2, n_maps=2)
     assert svc.fetches_remaining == 4
-    for _ in range(3):
-        svc.note_fetch_complete(10.0)
+    for reducer, map_id in [(0, 0), (0, 1), (1, 0)]:
+        svc.note_fetch_complete(reducer, map_id, 10.0)
         assert not svc.shuffle_done.triggered
-    svc.note_fetch_complete(10.0)
+    svc.note_fetch_complete(1, 1, 10.0)
     assert svc.shuffle_done.triggered
     assert svc.shuffled_bytes == pytest.approx(40.0)
+
+
+def test_duplicate_fetches_do_not_double_count():
+    env = Environment()
+    svc = ShuffleService(env, n_reducers=1, n_maps=2)
+    svc.note_fetch_complete(0, 0, 10.0)
+    # A retried reduce attempt re-pulls the same partition.
+    svc.note_fetch_complete(0, 0, 10.0)
+    assert svc.shuffled_bytes == pytest.approx(10.0)
+    assert svc.fetches_remaining == 1
+    assert not svc.shuffle_done.triggered
+    svc.note_fetch_complete(0, 1, 10.0)
+    assert svc.shuffle_done.triggered
 
 
 def test_invalid_shuffle_params():

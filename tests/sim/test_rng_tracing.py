@@ -65,6 +65,78 @@ def test_trace_unrecorded_topic_not_kept():
     assert bus.recorded("y") == []
 
 
+def test_trace_record_topic_starts_at_call_time():
+    bus = TraceBus()
+    bus.publish(1.0, "x", v=1)  # before record_topic → dropped
+    bus.record_topic("x")
+    bus.record_topic("x")  # idempotent
+    bus.publish(2.0, "x", v=2)
+    assert [r.payload["v"] for r in bus.recorded("x")] == [2]
+
+
+def test_trace_unsubscribe_stops_delivery():
+    bus = TraceBus()
+    got = []
+    cb = got.append
+    bus.subscribe("x", cb)
+    bus.publish(1.0, "x", v=1)
+    bus.unsubscribe("x", cb)
+    bus.publish(2.0, "x", v=2)
+    assert [r.payload["v"] for r in got] == [1]
+    with pytest.raises(KeyError):
+        bus.unsubscribe("x", cb)  # already removed
+    with pytest.raises(KeyError):
+        bus.unsubscribe("never-subscribed", cb)
+
+
+def test_trace_duplicate_subscribe_means_two_deliveries():
+    bus = TraceBus()
+    got = []
+    cb = got.append
+    bus.subscribe("x", cb)
+    bus.subscribe("x", cb)
+    bus.publish(1.0, "x", v=1)
+    assert len(got) == 2
+    # Each registration needs its own unsubscribe.
+    bus.unsubscribe("x", cb)
+    bus.publish(2.0, "x", v=2)
+    assert len(got) == 3
+    bus.unsubscribe("x", cb)
+    bus.publish(3.0, "x", v=3)
+    assert len(got) == 3
+
+
+def test_trace_unsubscribe_during_publish_is_safe():
+    # A callback that unsubscribes itself mid-publication must not
+    # break delivery to the other subscribers of the same record
+    # (previously: "list modified during iteration").
+    bus = TraceBus()
+    got = []
+
+    def once(rec):
+        got.append(("once", rec.payload["v"]))
+        bus.unsubscribe("x", once)
+
+    bus.subscribe("x", once)
+    bus.subscribe("x", lambda rec: got.append(("steady", rec.payload["v"])))
+    bus.publish(1.0, "x", v=1)
+    bus.publish(2.0, "x", v=2)
+    assert got == [("once", 1), ("steady", 1), ("steady", 2)]
+
+
+def test_trace_subscribe_during_publish_does_not_see_inflight_record():
+    bus = TraceBus()
+    got = []
+
+    def recruiter(rec):
+        bus.subscribe("x", lambda r: got.append(r.payload["v"]))
+
+    bus.subscribe("x", recruiter)
+    bus.publish(1.0, "x", v=1)  # snapshot: the recruit misses this one
+    bus.publish(2.0, "x", v=2)
+    assert got == [2]
+
+
 def test_interval_sampler_bins():
     s = IntervalSampler(interval=1.0)
     s.add(0.1, 10)
