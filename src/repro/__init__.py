@@ -22,7 +22,7 @@ Quickstart::
     print(report.summary())
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .core import (
     AdaptiveMetaScheduler,

@@ -5,26 +5,37 @@ Usage::
     python -m repro table1 --scale 0.25 --seeds 0,1,2
     python -m repro fig7a --jobs 4
     python -m repro all --scale 0.1 --seeds 0 --cache-dir /tmp/repro
+    python -m repro fig8 --seeds 0 --trace-out traces/
+    python -m repro report traces/ --chrome-out traces/job.chrome.json
 
 Each experiment prints the table/series of its paper artifact plus its
 PASS/FAIL shape checks.  Simulations fan out over ``--jobs`` worker
 processes and are memoised in a content-addressed on-disk cache, so
 re-running an experiment with the same configuration replays results
 without simulating (``--no-cache`` disables the disk cache).
+
+``--trace-out DIR`` records every simulated run's trace to
+``DIR/<run>.trace.jsonl`` (plus a metrics snapshot); ``repro report``
+renders those artifacts — per-phase durations, per-device I/O, a phase
+timeline — and can re-export them as a Chrome/Perfetto trace.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from .experiments import DEFAULT_SCALE, EXPERIMENTS
 from .experiments.common import validate_scale
 from .faults import PRESETS
+from .obs import capture
+from .obs.metrics import merge_snapshots
+from .obs.report import report_path
 from .runner import DEFAULT_CACHE_DIR, RunSpec, SweepRunner, default_jobs
 
 __all__ = ["main"]
@@ -62,6 +73,16 @@ def _parse_jobs(raw: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {value}")
     return value
+
+
+def _parse_topics(raw: str) -> tuple:
+    topics = tuple(t.strip() for t in raw.split(",") if t.strip())
+    if not topics:
+        raise argparse.ArgumentTypeError(
+            f"topic list {raw!r} is empty; give topics or globs, e.g. "
+            "--trace-topics 'disk.*,job.*' (default: '*')"
+        )
+    return topics
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,13 +139,81 @@ def build_parser() -> argparse.ArgumentParser:
         "(currently fig9-faults; other figures stay fault-free by "
         "construction)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="record each simulated run's trace to DIR/<run>.trace.jsonl "
+        "plus a metrics snapshot; implies fresh simulation (the result "
+        "cache is bypassed so every run actually traces)",
+    )
+    parser.add_argument(
+        "--trace-topics",
+        type=_parse_topics,
+        default=("*",),
+        metavar="TOPICS",
+        help="comma-separated trace topics or globs to record with "
+        "--trace-out, e.g. 'disk.*,job.*' (default: '*')",
+    )
     return parser
 
 
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Render a metrics summary and phase timeline from "
+        "trace artifacts recorded with --trace-out.",
+    )
+    parser.add_argument(
+        "trace",
+        help="a .trace.jsonl file, or a directory of them (reported in "
+        "name order)",
+    )
+    parser.add_argument(
+        "--chrome-out",
+        metavar="PATH",
+        default=None,
+        help="also export all records as Chrome trace-event JSON "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    return parser
+
+
+def _attach_obs_snapshot(result, out_dir: str, files_before: Set[str]) -> None:
+    """Fold this experiment's capture artifacts into its result payload.
+
+    Behind the --trace-out flag by construction: without capture the
+    payload carries no ``obs`` key at all, keeping rendered output and
+    cached run payloads bit-identical to the pre-observability ones.
+    """
+    try:
+        names = set(os.listdir(out_dir))
+    except OSError:
+        return
+    fresh = sorted(names - files_before)
+    snapshots = []
+    for name in fresh:
+        if not name.endswith(".metrics.json"):
+            continue
+        try:
+            with open(os.path.join(out_dir, name), encoding="utf-8") as fh:
+                snapshots.append(json.load(fh))
+        except (OSError, ValueError):
+            continue
+    result.data["obs"] = {
+        "trace_files": [n for n in fresh if n.endswith(".trace.jsonl")],
+        "metrics": merge_snapshots(snapshots),
+    }
+
+
 def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
-            quiet: bool = False, faults: Optional[str] = None) -> bool:
+            quiet: bool = False, faults: Optional[str] = None,
+            trace_out: Optional[str] = None) -> bool:
     start = time.time()
     before = sweep.stats.snapshot()
+    files_before: Set[str] = set()
+    if trace_out is not None and os.path.isdir(trace_out):
+        files_before = set(os.listdir(trace_out))
     fn = EXPERIMENTS[exp_id]
     kwargs = dict(scale=scale, seeds=seeds, sweep=sweep)
     if faults is not None:
@@ -137,6 +226,8 @@ def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
         else:
             kwargs["faults"] = faults
     result = fn(**kwargs)
+    if trace_out is not None:
+        _attach_obs_snapshot(result, trace_out, files_before)
     rendered = result.render()
     delta = sweep.stats.since(before)
     print(rendered)
@@ -146,7 +237,20 @@ def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
     return result.all_checks_pass
 
 
+def run_report(argv: List[str]) -> int:
+    args = build_report_parser().parse_args(argv)
+    try:
+        print(report_path(args.trace, chrome_out=args.chrome_out))
+    except FileNotFoundError as exc:
+        print(f"repro report: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "report":
+        return run_report(argv[1:])
     args = build_parser().parse_args(argv)
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
@@ -154,22 +258,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         name = spec.label or f"{spec.kind} seed={spec.seed}"
         print(f"  ran {name} ({seconds:.1f}s)", file=sys.stderr)
 
+    tracing = args.trace_out is not None
+    use_cache = not args.no_cache and not tracing
+    if tracing and not args.no_cache and not args.quiet:
+        print(
+            "repro: note: --trace-out bypasses the result cache so every "
+            "run is simulated (and traced) fresh",
+            file=sys.stderr,
+        )
     try:
         sweep = SweepRunner(
             jobs=args.jobs,
             cache_dir=args.cache_dir,
-            use_cache=not args.no_cache,
+            use_cache=use_cache,
             progress=None if args.quiet else progress,
         )
     except ValueError as exc:  # e.g. a garbage $REPRO_JOBS value
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
 
+    if tracing:
+        os.makedirs(args.trace_out, exist_ok=True)
+        capture.enable(args.trace_out, args.trace_topics)
     ok = True
-    with sweep:
-        for exp_id in ids:
-            ok = run_one(exp_id, sweep, args.scale, args.seeds,
-                         quiet=args.quiet, faults=args.faults) and ok
+    try:
+        with sweep:
+            for exp_id in ids:
+                ok = run_one(exp_id, sweep, args.scale, args.seeds,
+                             quiet=args.quiet, faults=args.faults,
+                             trace_out=args.trace_out) and ok
+            if not args.quiet:
+                print(sweep.profile_summary(), file=sys.stderr)
+    finally:
+        if tracing:
+            capture.disable()
     return 0 if ok else 1
 
 

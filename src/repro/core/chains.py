@@ -73,8 +73,10 @@ class ChainOutcome:
 class ChainRunner:
     """Execute phase plans over a job chain (JobRunner-compatible)."""
 
-    def __init__(self, config: ChainConfig):
+    def __init__(self, config: ChainConfig, trace=None):
         self.config = config
+        #: Optional TraceBus threaded into every chained simulation.
+        self.trace = trace
         self._cache: Dict[Solution, ChainOutcome] = {}
         self.runs_executed = 0
 
@@ -111,7 +113,8 @@ class ChainRunner:
         env = Environment()
         first_pair = solution.assignments[0]
         cluster = VirtualCluster(
-            env, self.config.cluster.with_(initial_pair=first_pair, seed=seed)
+            env, self.config.cluster.with_(initial_pair=first_pair, seed=seed),
+            trace=self.trace,
         )
         topology = Topology(env)
         boundaries: List[float] = []
@@ -143,7 +146,8 @@ class ChainRunner:
                 replication=job_config.replication,
             )
             namenode._files.update(carry_over)  # noqa: SLF001 - handoff
-            job = MapReduceJob(env, cluster, topology, namenode, job_config)
+            job = MapReduceJob(env, cluster, topology, namenode, job_config,
+                               trace=self.trace)
             proc = job.start()
 
             # Phase boundary: entering this job (switch if planned).

@@ -42,11 +42,12 @@ def run_dd_once(
     nbytes: int,
     switch_to: Optional[SchedulerPair] = None,
     switch_at: Optional[float] = None,
+    trace=None,
 ) -> float:
     """One dd measurement run (optionally switching pairs mid-flight)."""
     env = Environment()
     cluster = VirtualCluster(
-        env, cluster_config.with_(initial_pair=pair, seed=seed)
+        env, cluster_config.with_(initial_pair=pair, seed=seed), trace=trace
     )
     host = cluster.hosts[0]
     bench = DdParallelWrite(env, host, nbytes=nbytes)

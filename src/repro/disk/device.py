@@ -373,6 +373,20 @@ class DiskDevice(ElevatorQueue):
         yield env.timeout(service_time)
         self.in_flight = None
         request.complete_time = env.now  # stats need it before _completed
+        if self.trace is not None:
+            # Service breakdown is only known at the spindle; vdisks
+            # forward, so this topic is Dom0-device-only by design.
+            self.trace.publish(
+                env.now,
+                "disk.service",
+                device=self.name,
+                rid=request.rid,
+                op=request.op.value,
+                service=service_time,
+                seek=breakdown.seek,
+                rotation=breakdown.rotation,
+                transfer=breakdown.transfer,
+            )
         self.stats.on_complete(
             request,
             service_time,

@@ -26,6 +26,14 @@ SECTOR_SIZE = 512
 _rid_counter = itertools.count(1)
 
 
+def reset_rids() -> None:
+    """Restart request numbering at 1 (labels only — never scheduling
+    input), so every run's trace carries the same rids as any other
+    same-seed run, whatever ran earlier in this process."""
+    global _rid_counter
+    _rid_counter = itertools.count(1)
+
+
 class IoOp(enum.Enum):
     """Direction of a block request."""
 

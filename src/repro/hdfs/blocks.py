@@ -16,6 +16,14 @@ DEFAULT_REPLICATION = 2
 _block_counter = itertools.count(1)
 
 
+def reset_block_ids() -> None:
+    """Restart block numbering at 1 (names are labels; placement and
+    layout follow allocation order), keeping guest-file names in traces
+    identical across same-seed runs in one process."""
+    global _block_counter
+    _block_counter = itertools.count(1)
+
+
 @dataclass
 class HdfsBlock:
     """One block: its size and the VMs holding replicas.

@@ -282,6 +282,13 @@ class MapReduceJob:
         yield AllOf(self.env, workers + reducers)
         end = self.env.now
         if self.trace is not None:
+            # Published retrospectively (no watcher process: attaching a
+            # trace must not perturb the event schedule); the record
+            # carries the boundary's true simulated time.
+            if self.shuffle_done_event.triggered:
+                self.trace.publish(
+                    self.shuffle_done_event.value, "job.shuffle_done"
+                )
             self.trace.publish(end, "job.done", name=cfg.spec.name)
 
         phases = PhaseTimes(

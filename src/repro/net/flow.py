@@ -23,6 +23,13 @@ __all__ = ["Link", "Flow", "FlowNetwork"]
 _fid_counter = itertools.count(1)
 
 
+def reset_fids() -> None:
+    """Restart flow numbering at 1; fids label flows (repr/hash) and
+    never order them, so this only stabilises cross-run diagnostics."""
+    global _fid_counter
+    _fid_counter = itertools.count(1)
+
+
 class Link:
     """A unidirectional capacity constraint (bytes/second)."""
 

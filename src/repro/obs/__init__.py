@@ -1,0 +1,61 @@
+"""repro.obs — the observability layer over the trace bus.
+
+Four concerns, one package:
+
+* :mod:`repro.obs.metrics` — deterministic simulation-time counters,
+  gauges, and fixed-bucket histograms, auto-populated from trace topics;
+* :mod:`repro.obs.export` — JSONL trace files (filtered, ring-capped)
+  and Chrome trace-event exports viewable in Perfetto;
+* :mod:`repro.obs.profile` — wall-clock profiling of the sweep runner
+  (stage timings, worker utilization, cache traffic);
+* :mod:`repro.obs.capture` — the per-run capture switch the CLI's
+  ``--trace-out`` flips, propagated to worker processes via the
+  environment;
+* :mod:`repro.obs.report` — the ``repro report`` renderer.
+
+Everything is off by default and payload-neutral: enabling capture
+never changes simulation results, cache keys, or cached records.
+"""
+
+from .capture import CaptureConfig, RunCapture, config_from_env, current_bus
+from .export import (
+    JsonlTraceWriter,
+    TopicFilter,
+    load_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceMetrics,
+    merge_snapshots,
+)
+from .profile import BatchProfile, SweepProfiler
+from .report import render_report, report_path
+
+__all__ = [
+    "BatchProfile",
+    "CaptureConfig",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceWriter",
+    "MetricsRegistry",
+    "RunCapture",
+    "SweepProfiler",
+    "TopicFilter",
+    "TraceMetrics",
+    "config_from_env",
+    "current_bus",
+    "load_jsonl",
+    "merge_snapshots",
+    "render_report",
+    "report_path",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

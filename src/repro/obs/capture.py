@@ -1,0 +1,141 @@
+"""Per-run trace capture, switchable from the CLI across worker processes.
+
+The sweep runner executes :class:`~repro.runner.spec.RunSpec`s in worker
+*processes*, so the capture switch travels as environment variables
+(``REPRO_TRACE_OUT`` / ``REPRO_TRACE_TOPICS``) that the pool's children
+inherit.  When active, :func:`repro.runner.kinds.execute_spec` opens a
+:class:`RunCapture` around each simulation: the run's components get a
+recording :class:`~repro.sim.tracing.TraceBus`, and on completion the
+records and a metrics snapshot land in the capture directory as
+
+    <out>/<kind>-seed<seed>-<key12>.trace.jsonl
+    <out>/<kind>-seed<seed>-<key12>.metrics.json
+
+(the 12-hex ``key12`` is the run's content-addressed spec-key prefix, so
+file names are deterministic and collision-free across a sweep).
+
+Capture is strictly a side channel: payloads, cache keys, and cached
+records are byte-identical with capture on or off — trace publication
+costs no simulated time — which is what lets ``--trace-out`` coexist
+with the bit-identity guarantees in ``tests/integration``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..sim.tracing import TraceBus
+from .export import write_jsonl
+from .metrics import TraceMetrics
+
+__all__ = [
+    "ENV_TRACE_OUT",
+    "ENV_TRACE_TOPICS",
+    "CaptureConfig",
+    "config_from_env",
+    "enable",
+    "disable",
+    "RunCapture",
+    "current_bus",
+]
+
+ENV_TRACE_OUT = "REPRO_TRACE_OUT"
+ENV_TRACE_TOPICS = "REPRO_TRACE_TOPICS"
+
+
+@dataclass(frozen=True)
+class CaptureConfig:
+    """Where to put per-run trace artifacts and which topics to keep."""
+
+    out_dir: str
+    topics: Tuple[str, ...] = ("*",)
+    #: Ring-buffer cap on exported records per run (None = unbounded).
+    cap: Optional[int] = None
+
+
+def config_from_env() -> Optional[CaptureConfig]:
+    """The active capture config, or ``None`` when capture is off.
+
+    Read per call (not cached) so worker processes and tests that flip
+    the environment mid-process see the current state.
+    """
+    out_dir = os.environ.get(ENV_TRACE_OUT)
+    if not out_dir:
+        return None
+    raw_topics = os.environ.get(ENV_TRACE_TOPICS, "*")
+    topics = tuple(t.strip() for t in raw_topics.split(",") if t.strip()) or ("*",)
+    return CaptureConfig(out_dir=out_dir, topics=topics)
+
+
+def enable(out_dir: os.PathLike | str, topics: Tuple[str, ...] = ("*",)) -> None:
+    """Turn capture on process-wide (and for future worker children)."""
+    os.environ[ENV_TRACE_OUT] = str(out_dir)
+    os.environ[ENV_TRACE_TOPICS] = ",".join(topics)
+
+
+def disable() -> None:
+    os.environ.pop(ENV_TRACE_OUT, None)
+    os.environ.pop(ENV_TRACE_TOPICS, None)
+
+
+#: The bus of the capture currently wrapping ``execute_spec`` in this
+#: process, if any.  Kind functions consult this to thread tracing into
+#: the simulations they build.
+_current: Optional[TraceBus] = None
+
+
+def current_bus() -> Optional[TraceBus]:
+    return _current
+
+
+class RunCapture:
+    """One run's recording bus plus the artifact writer.
+
+    Context-manager form keeps ``execute_spec`` tidy::
+
+        with RunCapture(cfg) as cap:
+            payload = fn(spec.config, spec.seed)
+        cap.finish(spec)
+    """
+
+    def __init__(self, config: CaptureConfig):
+        self.config = config
+        self.bus = TraceBus()
+        for topic in config.topics:
+            self.bus.record_topic(topic)
+
+    def __enter__(self) -> "RunCapture":
+        global _current
+        self._previous = _current
+        _current = self.bus
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _current
+        _current = self._previous
+
+    def artifact_base(self, spec) -> str:
+        # Imported lazily: repro.runner imports repro.obs.capture at
+        # module load (via kinds), so the reverse edge must not run at
+        # import time.
+        from ..runner.spec import spec_key
+
+        return f"{spec.kind}-seed{spec.seed}-{spec_key(spec)[:12]}"
+
+    def finish(self, spec) -> Tuple[Path, Path]:
+        """Write the run's trace JSONL and metrics JSON; returns paths."""
+        out = Path(self.config.out_dir)
+        base = self.artifact_base(spec)
+        trace_path = out / f"{base}.trace.jsonl"
+        metrics_path = out / f"{base}.metrics.json"
+        write_jsonl(self.bus.records, trace_path, cap=self.config.cap)
+        snapshot = TraceMetrics().replay(self.bus.records).registry.snapshot()
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(
+            json.dumps(snapshot, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        return trace_path, metrics_path

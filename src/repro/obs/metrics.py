@@ -1,0 +1,302 @@
+"""Simulation-time metrics: counters, gauges, fixed-bucket histograms.
+
+Everything here is driven by *simulated* time and trace records — no
+wall clock, no host state — so two runs of the same seed produce
+byte-identical snapshots.  :class:`TraceMetrics` is the bridge from the
+trace bus: it knows the repo's topic taxonomy (DESIGN.md
+"Observability") and folds each record into a :class:`MetricsRegistry`,
+either live (subscribed to a :class:`~repro.sim.tracing.TraceBus`) or
+offline (replaying records loaded from a JSONL trace file).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..sim.tracing import TraceBus, TraceRecord
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceMetrics",
+    "DEFAULT_LATENCY_BUCKETS",
+    "merge_snapshots",
+]
+
+#: Request-latency histogram edges in seconds (upper bounds; the last
+#: implicit bucket is +inf).  Spans anticipation holds (~ms) through
+#: switch-stall convoys (~s).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value; tracks its high-water mark too."""
+
+    __slots__ = ("value", "max_value")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style, Prometheus flavoured).
+
+    ``buckets`` are sorted upper bounds; observations above the last
+    bound land in the implicit +inf bucket.  Bucket counts are
+    *per-bucket* (not cumulative) so snapshots stay human-readable.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS):
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        if list(self.buckets) != sorted(self.buckets) or not self.buckets:
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "buckets": [list(pair) for pair in zip(self.buckets, self.counts)],
+            "overflow": self.counts[-1],
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+        }
+
+
+def _key(name: str, labels: Dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for named metrics with flat label rendering.
+
+    Keys render Prometheus-style (``disk.completed{device=h0.sda}``) and
+    snapshots sort them, so the JSON form is deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._counters.setdefault(_key(name, labels), Counter())
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._gauges.setdefault(_key(name, labels), Gauge())
+
+    def histogram(self, name: str,
+                  buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+                  **labels: Any) -> Histogram:
+        key = _key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram(buckets)
+        return hist
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able, deterministically ordered dump of every metric."""
+        return {
+            "counters": {k: self._counters[k].snapshot()
+                         for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].snapshot()
+                       for k in sorted(self._gauges)},
+            "histograms": {k: self._histograms[k].snapshot()
+                           for k in sorted(self._histograms)},
+        }
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate per-run snapshots: counters/histogram tallies sum,
+    gauges keep the max of their high-water marks (the only cross-run
+    reduction that stays meaningful for queue depths and end times)."""
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
+    hist_totals: Dict[str, Dict[str, float]] = {}
+    for snap in snapshots:
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0.0) + value
+        for key, g in snap.get("gauges", {}).items():
+            agg = gauges.setdefault(key, {"value": g["value"], "max": g["max"]})
+            agg["value"] = max(agg["value"], g["value"])
+            agg["max"] = max(agg["max"], g["max"])
+        for key, h in snap.get("histograms", {}).items():
+            agg = hist_totals.setdefault(key, {"count": 0, "sum": 0.0})
+            agg["count"] += h["count"]
+            agg["sum"] += h["sum"]
+    for agg in hist_totals.values():
+        agg["mean"] = agg["sum"] / agg["count"] if agg["count"] else 0.0
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(hist_totals.items())),
+    }
+
+
+class TraceMetrics:
+    """Populates a :class:`MetricsRegistry` from the trace-topic taxonomy.
+
+    Live use (during a simulation)::
+
+        tm = TraceMetrics()
+        tm.attach(bus)          # subscribes to the topics it understands
+        ... run the simulation ...
+        snapshot = tm.registry.snapshot()
+
+    Offline use (on records loaded from a trace file)::
+
+        tm = TraceMetrics()
+        tm.replay(records)
+    """
+
+    #: Topics this bridge understands (exact names; disk/fs topics carry
+    #: per-device/per-VM labels in their payloads).
+    TOPICS = (
+        "disk.submit",
+        "disk.complete",
+        "disk.service",
+        "disk.switched",
+        "fs.read",
+        "fs.write",
+        "cluster.set_pair",
+        "job.start",
+        "job.map_finished",
+        "job.maps_done",
+        "job.shuffle_done",
+        "job.reduce_finished",
+        "job.done",
+        "task.retry",
+        "task.speculative",
+        "fault.disk_slow",
+        "fault.disk_recover",
+        "fault.vm_pause",
+        "fault.vm_resume",
+        "fault.vm_crash",
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+        #: Submit time per (device, rid), for dispatch-latency histograms.
+        self._pending: Dict[Tuple[str, int], float] = {}
+
+    # -- wiring -------------------------------------------------------------------
+    def attach(self, bus: TraceBus) -> None:
+        for topic in self.TOPICS:
+            bus.subscribe(topic, self.handle)
+
+    def detach(self, bus: TraceBus) -> None:
+        for topic in self.TOPICS:
+            bus.unsubscribe(topic, self.handle)
+
+    def replay(self, records: Iterable[TraceRecord]) -> "TraceMetrics":
+        for record in records:
+            self.handle(record)
+        return self
+
+    # -- the taxonomy --------------------------------------------------------------
+    def handle(self, record: TraceRecord) -> None:
+        topic, p, reg = record.topic, record.payload, self.registry
+        if topic == "disk.submit":
+            device = p["device"]
+            reg.counter("disk.submitted", device=device).inc()
+            reg.gauge("disk.queue_depth", device=device).add(1)
+            self._pending[(device, p["rid"])] = record.time
+        elif topic == "disk.complete":
+            device = p["device"]
+            merged = list(p.get("merged_rids", ()))
+            served = 1 + len(merged)
+            reg.counter("disk.completed", device=device).inc(served)
+            reg.counter("disk.merged", device=device).inc(len(merged))
+            reg.counter("disk.bytes", device=device).inc(p.get("nbytes", 0))
+            reg.gauge("disk.queue_depth", device=device).add(-served)
+            hist = reg.histogram("disk.latency", device=device)
+            for rid in [p["rid"], *merged]:
+                submitted = self._pending.pop((device, rid), None)
+                if submitted is not None:
+                    hist.observe(record.time - submitted)
+        elif topic == "disk.service":
+            device = p["device"]
+            reg.counter("disk.busy_seconds", device=device).inc(p["service"])
+            reg.counter("disk.seek_seconds", device=device).inc(p["seek"])
+            reg.counter("disk.rotation_seconds", device=device).inc(p["rotation"])
+            reg.counter("disk.transfer_seconds", device=device).inc(p["transfer"])
+        elif topic == "disk.switched":
+            device = p["device"]
+            reg.counter("sched.switches", device=device).inc()
+            reg.counter("sched.switch_stall_seconds", device=device).inc(p["stall"])
+            reg.counter("sched.switch_stall_seconds_total").inc(p["stall"])
+        elif topic in ("fs.read", "fs.write"):
+            op = "read" if topic == "fs.read" else "write"
+            reg.counter("fs.ops", vm=p["vm"], op=op).inc()
+            reg.counter("fs.bytes", vm=p["vm"], op=op).inc(p.get("length", 0))
+        elif topic == "cluster.set_pair":
+            reg.counter("cluster.pair_switches").inc()
+        elif topic == "job.start":
+            reg.gauge("job.start_time").set(record.time)
+        elif topic == "job.map_finished":
+            reg.counter("job.maps_finished").inc()
+            if p.get("total"):
+                reg.gauge("job.map_progress").set(p["done"] / p["total"])
+        elif topic == "job.maps_done":
+            reg.gauge("job.maps_done_time").set(record.time)
+        elif topic == "job.shuffle_done":
+            reg.gauge("job.shuffle_done_time").set(record.time)
+        elif topic == "job.reduce_finished":
+            reg.counter("job.reduces_finished").inc()
+        elif topic == "job.done":
+            reg.gauge("job.end_time").set(record.time)
+        elif topic == "task.retry":
+            reg.counter("task.retries", kind=p.get("kind", "unknown")).inc()
+        elif topic == "task.speculative":
+            reg.counter("task.speculative").inc()
+        elif topic.startswith("fault."):
+            reg.counter("faults", type=topic[len("fault."):]).inc()

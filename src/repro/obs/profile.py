@@ -1,0 +1,110 @@
+"""Wall-clock profiling of sweep-runner execution.
+
+Unlike :mod:`repro.obs.metrics` (simulation time, deterministic), this
+module measures the *harness itself*: how long each
+:class:`~repro.runner.spec.RunSpec` batch spent in lookup vs execution,
+how well the process pool was utilised, and what the on-disk cache did.
+Numbers here never flow into payloads or cache keys — they are printed
+after a sweep and thrown away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["BatchProfile", "SweepProfiler"]
+
+
+@dataclass
+class BatchProfile:
+    """Timings for one ``run_specs`` call."""
+
+    specs: int
+    executed: int
+    memo_hits: int
+    cache_hits: int
+    #: Seconds resolving memo/disk-cache lookups (the cheap stage).
+    lookup_seconds: float
+    #: Wall seconds inside the execute stage (fan-out inclusive).
+    execute_seconds: float
+    #: Summed per-run simulation seconds (across workers; can exceed
+    #: ``execute_seconds`` under parallelism).
+    busy_seconds: float
+
+
+@dataclass
+class SweepProfiler:
+    """Accumulates :class:`BatchProfile` rows for one runner's lifetime."""
+
+    jobs: int = 1
+    batches: List[BatchProfile] = field(default_factory=list)
+
+    def record_batch(self, batch: BatchProfile) -> None:
+        self.batches.append(batch)
+
+    # -- aggregates -----------------------------------------------------------------
+    @property
+    def specs(self) -> int:
+        return sum(b.specs for b in self.batches)
+
+    @property
+    def executed(self) -> int:
+        return sum(b.executed for b in self.batches)
+
+    @property
+    def lookup_seconds(self) -> float:
+        return sum(b.lookup_seconds for b in self.batches)
+
+    @property
+    def execute_seconds(self) -> float:
+        return sum(b.execute_seconds for b in self.batches)
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(b.busy_seconds for b in self.batches)
+
+    def worker_utilization(self) -> float:
+        """Busy fraction of the pool during execute stages (0..1).
+
+        1.0 means every worker simulated for the whole execute window;
+        low values mean the fan-out was starved (few specs) or skewed
+        (one long run serialised the batch).
+        """
+        denom = self.execute_seconds * max(self.jobs, 1)
+        if denom <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / denom)
+
+    def snapshot(self, cache_stats: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        snap: Dict[str, Any] = {
+            "jobs": self.jobs,
+            "batches": len(self.batches),
+            "specs": self.specs,
+            "executed": self.executed,
+            "memo_hits": sum(b.memo_hits for b in self.batches),
+            "cache_hits": sum(b.cache_hits for b in self.batches),
+            "lookup_seconds": self.lookup_seconds,
+            "execute_seconds": self.execute_seconds,
+            "busy_seconds": self.busy_seconds,
+            "worker_utilization": self.worker_utilization(),
+        }
+        if cache_stats is not None:
+            snap["cache"] = dict(cache_stats)
+        return snap
+
+    def summary(self, cache_stats: Optional[Dict[str, Any]] = None) -> str:
+        """One human line per concern, for the CLI's post-sweep report."""
+        lines = [
+            f"profile: {len(self.batches)} batches, {self.specs} specs "
+            f"({self.executed} executed), lookup {self.lookup_seconds:.2f}s, "
+            f"execute {self.execute_seconds:.2f}s",
+            f"profile: workers {self.jobs}, busy {self.busy_seconds:.2f}s, "
+            f"utilization {100 * self.worker_utilization():.0f}%",
+        ]
+        if cache_stats:
+            lines.append(
+                "profile: cache hits {hits}, misses {misses}, "
+                "read {bytes_read} B, wrote {bytes_written} B".format(**cache_stats)
+            )
+        return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""The ``repro report`` renderer: trace file → tables and a timeline.
+
+Reads the JSONL artifacts written by :mod:`repro.obs.capture` (one file
+per simulated run), replays them through :class:`TraceMetrics`, and
+prints per-phase durations, per-device I/O metrics, and an ASCII phase
+timeline — everything needed to diagnose a run without re-simulating.
+Optionally re-exports the records as a Chrome trace for Perfetto.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.summary import format_table
+from ..sim.tracing import TraceRecord
+from .export import load_jsonl, write_chrome_trace
+from .metrics import TraceMetrics
+
+__all__ = [
+    "trace_files",
+    "phase_durations",
+    "device_rows",
+    "render_timeline",
+    "render_report",
+    "report_path",
+]
+
+_LABEL_RE = re.compile(r"\{([^}]*)\}")
+
+
+def trace_files(path: Path | str) -> List[Path]:
+    """The trace files a report argument refers to.
+
+    A file is reported alone; a directory means every ``*.trace.jsonl``
+    (or bare ``*.jsonl``) inside it, sorted by name for stable output.
+    """
+    path = Path(path)
+    if path.is_file():
+        return [path]
+    if path.is_dir():
+        found = sorted(path.glob("*.trace.jsonl")) or sorted(path.glob("*.jsonl"))
+        if found:
+            return found
+        raise FileNotFoundError(f"no .jsonl trace files in {path}")
+    raise FileNotFoundError(f"no such trace file or directory: {path}")
+
+
+def phase_durations(records: Sequence[TraceRecord]) -> Dict[str, Tuple[float, float]]:
+    """Phase name → (start, end) in simulated seconds, from job topics."""
+    marks: Dict[str, float] = {}
+    for record in records:
+        if record.topic == "job.start":
+            marks.setdefault("start", record.time)
+        elif record.topic == "job.maps_done":
+            marks["maps_done"] = record.time
+        elif record.topic == "job.shuffle_done":
+            marks["shuffle_done"] = record.time
+        elif record.topic == "job.done":
+            marks["end"] = record.time
+    phases: Dict[str, Tuple[float, float]] = {}
+    start, end = marks.get("start"), marks.get("end")
+    if start is None or end is None:
+        return phases
+    maps_done = marks.get("maps_done", end)
+    shuffle_done = marks.get("shuffle_done", end)
+    phases["map"] = (start, maps_done)
+    phases["shuffle"] = (maps_done, shuffle_done)
+    phases["reduce"] = (shuffle_done, end)
+    return phases
+
+
+def _labelled(metrics: Dict[str, Any], prefix: str) -> Dict[str, Any]:
+    """``{label-value: metric}`` for keys like ``prefix{device=NAME}``."""
+    out: Dict[str, Any] = {}
+    for key, value in metrics.items():
+        if not key.startswith(prefix + "{"):
+            continue
+        match = _LABEL_RE.search(key)
+        if match:
+            label = match.group(1).split("=", 1)[1]
+            out[label] = value
+    return out
+
+
+def device_rows(snapshot: Dict[str, Any]) -> List[List[Any]]:
+    """Per-device I/O table rows from a metrics snapshot."""
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    submitted = _labelled(counters, "disk.submitted")
+    completed = _labelled(counters, "disk.completed")
+    merged = _labelled(counters, "disk.merged")
+    nbytes = _labelled(counters, "disk.bytes")
+    stalls = _labelled(counters, "sched.switch_stall_seconds")
+    depth_max = {k: g["max"] for k, g in _labelled(gauges, "disk.queue_depth").items()}
+    latency = {k: h.get("mean", 0.0)
+               for k, h in _labelled(histograms, "disk.latency").items()}
+    rows = []
+    for device in sorted(submitted):
+        rows.append([
+            device,
+            int(submitted.get(device, 0)),
+            int(completed.get(device, 0)),
+            int(merged.get(device, 0)),
+            nbytes.get(device, 0.0) / (1024 * 1024),
+            int(depth_max.get(device, 0)),
+            1000.0 * latency.get(device, 0.0),
+            stalls.get(device, 0.0),
+        ])
+    return rows
+
+
+def render_timeline(phases: Dict[str, Tuple[float, float]], width: int = 60) -> str:
+    """ASCII phase timeline: one bar per phase, aligned to job time."""
+    if not phases:
+        return "(no job phase records in this trace)"
+    t0 = min(start for start, _ in phases.values())
+    t1 = max(end for _, end in phases.values())
+    span = max(t1 - t0, 1e-9)
+    lines = [f"timeline [{t0:.1f}s .. {t1:.1f}s]"]
+    for name, (start, end) in phases.items():
+        lead = int(round((start - t0) / span * width))
+        bar = max(1, int(round((end - start) / span * width)))
+        lines.append(
+            f"  {name:<8}|{' ' * lead}{'#' * bar}"
+            f"{' ' * max(0, width - lead - bar)}| {end - start:.1f}s"
+        )
+    return "\n".join(lines)
+
+
+def render_report(records: Sequence[TraceRecord], title: str = "") -> str:
+    """The full text report for one run's records."""
+    snapshot = TraceMetrics().replay(records).registry.snapshot()
+    phases = phase_durations(records)
+    parts: List[str] = []
+    if title:
+        parts.append(f"== {title} ==")
+    parts.append(f"{len(records)} trace records")
+
+    if phases:
+        parts.append(format_table(
+            ["phase", "start s", "end s", "duration s"],
+            [[name, start, end, end - start]
+             for name, (start, end) in phases.items()],
+            title="per-phase durations",
+        ))
+        parts.append(render_timeline(phases))
+
+    rows = device_rows(snapshot)
+    if rows:
+        parts.append(format_table(
+            ["device", "submitted", "completed", "merged", "MB",
+             "max depth", "mean lat ms", "switch stall s"],
+            rows,
+            title="per-device I/O",
+        ))
+
+    counters = snapshot.get("counters", {})
+    extras = []
+    for key in ("cluster.pair_switches", "sched.switch_stall_seconds_total",
+                "job.maps_finished", "job.reduces_finished",
+                "task.speculative"):
+        if key in counters:
+            extras.append([key, counters[key]])
+    extras.extend(
+        [key, value] for key, value in sorted(counters.items())
+        if key.startswith(("faults{", "task.retries{"))
+    )
+    if extras:
+        parts.append(format_table(["metric", "value"], extras, title="counters"))
+    return "\n\n".join(parts)
+
+
+def report_path(path: Path | str, chrome_out: Optional[Path | str] = None) -> str:
+    """Report every trace file under ``path``; optionally write a merged
+    Chrome trace of all their records to ``chrome_out``."""
+    files = trace_files(path)
+    sections = []
+    all_records: List[TraceRecord] = []
+    for file in files:
+        records = load_jsonl(file)
+        all_records.extend(records)
+        sections.append(render_report(records, title=file.name))
+    if chrome_out is not None:
+        n = write_chrome_trace(all_records, chrome_out)
+        sections.append(f"wrote {n} Chrome trace events to {chrome_out}")
+    return "\n\n".join(sections)

@@ -28,9 +28,23 @@ class ResultCache:
 
     def __init__(self, root: os.PathLike | str = DEFAULT_CACHE_DIR):
         self.root = Path(root)
+        # Traffic counters for the observability profiler: how often the
+        # disk cache answered, and how many bytes moved either way.
+        self.hits = 0
+        self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored record, or ``None`` on miss/corruption."""
@@ -38,13 +52,18 @@ class ResultCache:
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
+            self.misses += 1
             return None
+        self.bytes_read += len(text.encode("utf-8"))
         try:
             record = json.loads(text)
         except ValueError:
+            self.misses += 1
             return None
         if not isinstance(record, dict) or "result" not in record:
+            self.misses += 1
             return None
+        self.hits += 1
         return record
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
@@ -52,7 +71,7 @@ class ResultCache:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(
-            json.dumps(record, sort_keys=True), encoding="utf-8"
-        )
+        text = json.dumps(record, sort_keys=True)
+        tmp.write_text(text, encoding="utf-8")
         tmp.replace(path)
+        self.bytes_written += len(text.encode("utf-8"))

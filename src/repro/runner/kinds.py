@@ -30,6 +30,7 @@ from ..core.switch_cost import run_dd_once
 from ..hdfs.namenode import NameNode
 from ..iosched.anticipatory import AnticipatoryParams, AnticipatoryScheduler
 from ..mapreduce.jobtracker import MapReduceJob
+from ..obs import capture
 from ..mapreduce.phases import JobResult, PhaseTimes
 from ..net.topology import Topology
 from ..sim.core import Environment
@@ -61,12 +62,27 @@ def register(name: str):
 
 
 def execute_spec(spec: RunSpec) -> Dict[str, Any]:
-    """Run one spec to completion (in whatever process this is)."""
+    """Run one spec to completion (in whatever process this is).
+
+    When trace capture is enabled (``$REPRO_TRACE_OUT``, usually via
+    the CLI's ``--trace-out``), the run executes with a recording
+    :class:`~repro.sim.tracing.TraceBus` and its records + metrics
+    snapshot are written to the capture directory afterwards.  The
+    returned payload is byte-identical either way — tracing is a side
+    channel, never an input.
+    """
     try:
         fn = KINDS[spec.kind]
     except KeyError:
         raise ValueError(f"unknown run kind {spec.kind!r}") from None
-    return fn(spec.config, spec.seed)
+    _reset_run_ids()
+    cfg = capture.config_from_env()
+    if cfg is None:
+        return fn(spec.config, spec.seed)
+    with capture.RunCapture(cfg) as cap:
+        payload = fn(spec.config, spec.seed)
+    cap.finish(spec)
+    return payload
 
 
 # -- job runs (and their payload codec) -----------------------------------------------
@@ -115,11 +131,33 @@ def decode_job_result(payload: Dict[str, Any]) -> Tuple[JobResult, float]:
     return result, payload["switch_stall"]
 
 
+def _reset_run_ids() -> None:
+    """Restart the process-global id counters (rids, block ids, flow
+    ids) before each run.  The ids are pure labels, so results are
+    unchanged; what this buys is same-seed runs whose *traces* are
+    byte-identical even when earlier runs in this process consumed ids.
+    """
+    from ..disk.request import reset_rids
+    from ..hdfs.blocks import reset_block_ids
+    from ..net.flow import reset_fids
+
+    reset_rids()
+    reset_block_ids()
+    reset_fids()
+
+
+def _trace_factory():
+    """JobRunner-style ``trace_factory`` for the active capture, if any."""
+    bus = capture.current_bus()
+    return (lambda seed: bus) if bus is not None else None
+
+
 @register("job")
 def _run_job(config, seed: int) -> Dict[str, Any]:
     """config = (TestbedConfig, Solution)."""
     testbed, solution = config
-    runner = JobRunner(testbed.with_(seeds=(seed,)))
+    runner = JobRunner(testbed.with_(seeds=(seed,)),
+                       trace_factory=_trace_factory())
     result, stall = runner.execute_once(solution, seed)
     return encode_job_result(result, stall)
 
@@ -135,7 +173,8 @@ def _run_faulty_job(config, seed: int) -> Dict[str, Any]:
     sub-dict of attempt/injector counters.
     """
     testbed, solution, plan = config
-    runner = JobRunner(testbed.with_(seeds=(seed,)), fault_plan=plan)
+    runner = JobRunner(testbed.with_(seeds=(seed,)), fault_plan=plan,
+                       trace_factory=_trace_factory())
     result, stall = runner.execute_once(solution, seed)
     payload = encode_job_result(result, stall)
     payload["faults"] = {k: result.fault_stats[k]
@@ -147,7 +186,8 @@ def _run_faulty_job(config, seed: int) -> Dict[str, Any]:
 def _run_chain(config, seed: int) -> Dict[str, Any]:
     """config = (ChainConfig, Solution)."""
     chain_config, solution = config
-    runner = ChainRunner(replace(chain_config, seeds=(seed,)))
+    runner = ChainRunner(replace(chain_config, seeds=(seed,)),
+                         trace=capture.current_bus())
     duration, phases = runner.execute_once(solution, seed)
     return {"duration": duration, "phases": list(phases)}
 
@@ -160,7 +200,8 @@ def _run_sysbench(config, seed: int) -> Dict[str, Any]:
     """config = (ClusterConfig, total_bytes, n_files, vms_per_host)."""
     cluster_config, total_bytes, n_files, vms_per_host = config
     env = Environment()
-    cluster = VirtualCluster(env, cluster_config.with_(seed=seed))
+    cluster = VirtualCluster(env, cluster_config.with_(seed=seed),
+                             trace=capture.current_bus())
     bench = SysbenchSeqWrite(
         env,
         cluster,
@@ -180,6 +221,7 @@ def _run_dd(config, seed: int) -> Dict[str, Any]:
     elapsed = run_dd_once(
         cluster_config, pair, seed, nbytes,
         switch_to=switch_to, switch_at=switch_at,
+        trace=capture.current_bus(),
     )
     return {"elapsed": elapsed}
 
@@ -192,10 +234,12 @@ def _run_instrumented_job(config, seed: int) -> Dict[str, Any]:
     """config = (ClusterConfig, JobConfig); exports throughput samples."""
     cluster_config, job_config = config
     env = Environment()
-    cluster = VirtualCluster(env, cluster_config.with_(seed=seed))
+    trace = capture.current_bus()
+    cluster = VirtualCluster(env, cluster_config.with_(seed=seed), trace=trace)
     topology = Topology(env)
     namenode = NameNode(cluster, block_size=job_config.block_size)
-    job = MapReduceJob(env, cluster, topology, namenode, job_config)
+    job = MapReduceJob(env, cluster, topology, namenode, job_config,
+                       trace=trace)
     proc = job.start()
     env.run(until=proc)
     duration = env.now
@@ -215,7 +259,8 @@ def _run_sort_custom(config, seed: int) -> Dict[str, Any]:
     """config = (ClusterConfig, JobConfig, zero_anticipation: bool)."""
     cluster_config, job_config, zero_anticipation = config
     env = Environment()
-    cluster = VirtualCluster(env, cluster_config.with_(seed=seed))
+    trace = capture.current_bus()
+    cluster = VirtualCluster(env, cluster_config.with_(seed=seed), trace=trace)
     if zero_anticipation:
         # Swap before any I/O exists; queues are empty so this is free.
         for host in cluster.hosts:
@@ -224,7 +269,8 @@ def _run_sort_custom(config, seed: int) -> Dict[str, Any]:
             )
     topology = Topology(env)
     namenode = NameNode(cluster, block_size=job_config.block_size)
-    job = MapReduceJob(env, cluster, topology, namenode, job_config)
+    job = MapReduceJob(env, cluster, topology, namenode, job_config,
+                       trace=trace)
     proc = job.start()
     env.run(until=proc)
     return {"duration": proc.value.duration}
@@ -235,10 +281,12 @@ def _run_online_sort(config, seed: int) -> Dict[str, Any]:
     """config = (ClusterConfig, JobConfig); reactive controller attached."""
     cluster_config, job_config = config
     env = Environment()
-    cluster = VirtualCluster(env, cluster_config.with_(seed=seed))
+    trace = capture.current_bus()
+    cluster = VirtualCluster(env, cluster_config.with_(seed=seed), trace=trace)
     topology = Topology(env)
     namenode = NameNode(cluster, block_size=job_config.block_size)
-    job = MapReduceJob(env, cluster, topology, namenode, job_config)
+    job = MapReduceJob(env, cluster, topology, namenode, job_config,
+                       trace=trace)
     controller = OnlineController(env, cluster, OnlinePolicy())
     proc = job.start()
 

@@ -27,6 +27,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.profile import BatchProfile, SweepProfiler
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .kinds import execute_spec
 from .spec import RunSpec, spec_key
@@ -119,6 +120,8 @@ class SweepRunner:
         #: Called as ``progress(spec, seconds)`` after each executed run.
         self.progress = progress
         self.stats = SweepStats()
+        #: Wall-clock profiling of every run_specs batch (repro.obs).
+        self.profiler = SweepProfiler(jobs=self.jobs)
         self._memo: Dict[str, Any] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -139,6 +142,12 @@ class SweepRunner:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
+    def profile_summary(self) -> str:
+        """Human-readable profiling report (stage timings, utilization,
+        cache traffic) for everything this runner has executed so far."""
+        cache_stats = self.cache.stats() if self.cache is not None else None
+        return self.profiler.summary(cache_stats)
+
     # -- execution ------------------------------------------------------------------
     def run_spec(self, spec: RunSpec) -> Any:
         return self.run_specs([spec])[0]
@@ -146,6 +155,8 @@ class SweepRunner:
     def run_specs(self, specs: Sequence[RunSpec]) -> List[Any]:
         """Result payloads for ``specs``, order-preserving."""
         specs = list(specs)
+        stats_before = self.stats.snapshot()
+        t_start = time.perf_counter()
         keys = [spec_key(spec) for spec in specs]
         results: List[Any] = [None] * len(specs)
         missing: Dict[str, RunSpec] = {}
@@ -164,11 +175,22 @@ class SweepRunner:
             # Duplicate keys inside one batch simulate once.
             missing.setdefault(key, spec)
 
+        t_lookup = time.perf_counter()
         if missing:
             self._execute_missing(missing)
             for i, key in enumerate(keys):
                 if results[i] is None and key in self._memo:
                     results[i] = self._memo[key]
+        delta = self.stats.since(stats_before)
+        self.profiler.record_batch(BatchProfile(
+            specs=len(specs),
+            executed=delta.executed,
+            memo_hits=delta.memo_hits,
+            cache_hits=delta.cache_hits,
+            lookup_seconds=t_lookup - t_start,
+            execute_seconds=time.perf_counter() - t_lookup,
+            busy_seconds=delta.run_seconds,
+        ))
         return results
 
     # -- internals ------------------------------------------------------------------

@@ -2,7 +2,9 @@
 
 Experiments subscribe to topics ("disk.complete", "job.maps_done", ...)
 to build CDFs and timelines without the simulated components knowing
-about the instrumentation.
+about the instrumentation.  The observability layer (:mod:`repro.obs`)
+records whole topic families with ``record_topic("disk.*")`` or
+``record_topic("*")`` and exports the records after the run.
 """
 
 from __future__ import annotations
@@ -28,8 +30,14 @@ class TraceBus:
 
     def __init__(self) -> None:
         self._subscribers: DefaultDict[str, List[Callable[[TraceRecord], None]]] = defaultdict(list)
-        self._recorded_topics: set = set()
+        self._recorded_topics: set[str] = set()
+        #: Prefixes registered via ``record_topic("family.*")``.
+        self._recorded_prefixes: List[str] = []
+        self._record_all = False
         self.records: List[TraceRecord] = []
+        #: Per-topic view of ``records`` so ``recorded(topic)`` does not
+        #: rescan every record ever published.
+        self._by_topic: DefaultDict[str, List[TraceRecord]] = defaultdict(list)
 
     def subscribe(self, topic: str, callback: Callable[[TraceRecord], None]) -> None:
         """Invoke ``callback`` for every record published on ``topic``.
@@ -57,23 +65,49 @@ class TraceBus:
     def record_topic(self, topic: str) -> None:
         """Keep all records for ``topic`` in :attr:`records`.
 
+        ``topic`` may be an exact name (``"disk.complete"``), a family
+        glob (``"disk.*"``, matching every topic under the prefix), or
+        ``"*"`` to record everything published.
+
         Recording starts at the time of this call: records published on
         ``topic`` beforehand were dropped (publish is a no-op without
         listeners) and are *not* retroactively recovered, but earlier
         records delivered to subscribers of other recorded topics are
         unaffected.  Calling this twice is a no-op.
         """
-        self._recorded_topics.add(topic)
+        if topic == "*":
+            self._record_all = True
+        elif topic.endswith(".*"):
+            prefix = topic[:-1]  # keep the dot: "disk.*" -> "disk."
+            if prefix not in self._recorded_prefixes:
+                self._recorded_prefixes.append(prefix)
+        else:
+            self._recorded_topics.add(topic)
+
+    def _should_record(self, topic: str) -> bool:
+        if self._record_all or topic in self._recorded_topics:
+            return True
+        return any(topic.startswith(p) for p in self._recorded_prefixes)
+
+    def clear(self) -> None:
+        """Drop all recorded records; keep subscriptions and topic config.
+
+        Long sweeps call this between jobs to bound memory: the bus keeps
+        recording the same topics afterwards, from an empty buffer.
+        """
+        self.records.clear()
+        self._by_topic.clear()
 
     def publish(self, time: float, topic: str, **payload: Any) -> None:
         """Publish a record; cheap no-op when nobody listens."""
         subs = self._subscribers.get(topic)
-        keep = topic in self._recorded_topics
+        keep = self._should_record(topic)
         if not subs and not keep:
             return
         record = TraceRecord(time, topic, payload)
         if keep:
             self.records.append(record)
+            self._by_topic[topic].append(record)
         if subs:
             # Iterate a snapshot so callbacks may subscribe/unsubscribe
             # (previously this crashed with "list modified during
@@ -83,7 +117,7 @@ class TraceBus:
 
     def recorded(self, topic: str) -> List[TraceRecord]:
         """All recorded records for ``topic`` in publication order."""
-        return [r for r in self.records if r.topic == topic]
+        return list(self._by_topic.get(topic, ()))
 
 
 @dataclass
@@ -102,14 +136,25 @@ class IntervalSampler:
         self._events.append((time, amount))
 
     def series(self, start: float = 0.0, end: float | None = None) -> List[float]:
-        """Per-interval sums of ``amount`` between ``start`` and ``end``."""
+        """Per-interval sums of ``amount`` between ``start`` and ``end``.
+
+        The window is covered by ``ceil((end - start) / interval)`` bins;
+        when the span divides evenly there is *no* extra trailing bin —
+        events at exactly ``t == end`` are clamped into the last full bin
+        (previously they opened a spurious final bin that diluted
+        :meth:`rates`).
+        """
         if not self._events:
             return []
         if end is None:
             end = max(t for t, _ in self._events)
         if end <= start:
             return []
-        n_bins = int((end - start) / self.interval) + 1
+        span = (end - start) / self.interval
+        n_bins = int(span)
+        # Tolerate float noise on exact multiples (e.g. 3.0000000000004).
+        if span - n_bins > 1e-9 or n_bins == 0:
+            n_bins += 1
         bins = [0.0] * n_bins
         for t, amount in self._events:
             if t < start or t > end:

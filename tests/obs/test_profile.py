@@ -1,0 +1,78 @@
+"""Sweep profiler: aggregation, utilization, and runner integration."""
+
+import pytest
+
+from repro.obs.profile import BatchProfile, SweepProfiler
+from repro.runner import RunSpec, SweepRunner
+
+
+def batch(**kw):
+    defaults = dict(specs=1, executed=1, memo_hits=0, cache_hits=0,
+                    lookup_seconds=0.0, execute_seconds=1.0, busy_seconds=1.0)
+    defaults.update(kw)
+    return BatchProfile(**defaults)
+
+
+def test_profiler_aggregates_batches():
+    prof = SweepProfiler(jobs=2)
+    prof.record_batch(batch(specs=3, executed=2, memo_hits=1,
+                            lookup_seconds=0.1, execute_seconds=2.0,
+                            busy_seconds=3.0))
+    prof.record_batch(batch(specs=1, executed=0, cache_hits=1,
+                            lookup_seconds=0.2, execute_seconds=0.0,
+                            busy_seconds=0.0))
+    assert prof.specs == 4
+    assert prof.executed == 2
+    assert prof.lookup_seconds == pytest.approx(0.3)
+    assert prof.execute_seconds == pytest.approx(2.0)
+    # 3.0 busy seconds over a 2-worker, 2.0s execute window: 75%.
+    assert prof.worker_utilization() == pytest.approx(0.75)
+
+
+def test_profiler_utilization_clamps_and_handles_idle():
+    prof = SweepProfiler(jobs=1)
+    assert prof.worker_utilization() == 0.0
+    prof.record_batch(batch(execute_seconds=1.0, busy_seconds=5.0))
+    assert prof.worker_utilization() == 1.0
+
+
+def test_profiler_snapshot_and_summary_include_cache():
+    prof = SweepProfiler(jobs=1)
+    prof.record_batch(batch())
+    cache = {"hits": 2, "misses": 1, "bytes_read": 10, "bytes_written": 20}
+    snap = prof.snapshot(cache)
+    assert snap["batches"] == 1
+    assert snap["cache"]["hits"] == 2
+    text = prof.summary(cache)
+    assert "profile:" in text
+    assert "cache hits 2" in text
+    # Without cache stats the cache line disappears.
+    assert "cache hits" not in prof.summary(None)
+
+
+def test_sweep_runner_records_profile_and_cache_traffic(tmp_path):
+    from tests.integration.test_golden_digest import golden_config
+
+    testbed, solution = golden_config()
+    spec = RunSpec(kind="job", seed=0, config=(testbed, solution))
+    with SweepRunner(jobs=1, cache_dir=tmp_path / "cache") as sweep:
+        sweep.run_specs([spec, spec])
+        prof = sweep.profiler
+        assert len(prof.batches) == 1
+        assert prof.specs == 2
+        assert prof.executed == 1  # duplicate key simulates once
+        assert prof.busy_seconds > 0
+        summary = sweep.profile_summary()
+    assert "profile:" in summary
+    assert "workers 1" in summary
+    # The executed run was persisted: cache write traffic is non-zero.
+    assert "wrote" in summary
+    stats = sweep.cache.stats()
+    assert stats["bytes_written"] > 0
+    assert stats["misses"] >= 1
+
+    # A fresh runner over the same cache dir serves from disk: hits.
+    with SweepRunner(jobs=1, cache_dir=tmp_path / "cache") as sweep2:
+        sweep2.run_specs([spec])
+        assert sweep2.cache.stats()["hits"] == 1
+        assert sweep2.profiler.executed == 0

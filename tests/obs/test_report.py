@@ -1,0 +1,132 @@
+"""`repro report` end to end: trace artifacts in, tables and Chrome out.
+
+One module-scoped fig8-style capture (a small fig8 benchmark run via the
+real CLI with ``--trace-out``) feeds every test, so the expensive
+simulation happens once.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import (
+    device_rows,
+    phase_durations,
+    render_report,
+    render_timeline,
+    trace_files,
+)
+from repro.obs.export import load_jsonl
+from repro.sim.tracing import TraceRecord
+
+
+def rec(time, topic, **payload):
+    return TraceRecord(time=time, topic=topic, payload=payload)
+
+
+@pytest.fixture(scope="module")
+def fig8_trace_dir(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("fig8-traces")
+    trace_dir = tmp / "traces"
+    code = main([
+        "fig8", "--scale", "0.02", "--seeds", "0", "--jobs", "1",
+        "--quiet", "--cache-dir", str(tmp / "cache"),
+        "--trace-out", str(trace_dir),
+    ])
+    assert code == 0
+    return trace_dir
+
+
+def test_trace_out_writes_one_artifact_pair_per_run(fig8_trace_dir):
+    traces = sorted(fig8_trace_dir.glob("*.trace.jsonl"))
+    metrics = sorted(fig8_trace_dir.glob("*.metrics.json"))
+    # fig8 runs three benchmarks (wordcount, wordcount-nocombiner, sort).
+    assert len(traces) == 3
+    assert len(metrics) == 3
+
+
+def test_report_cli_prints_phases_and_device_io(fig8_trace_dir, capsys, tmp_path):
+    chrome_out = tmp_path / "fig8.chrome.json"
+    code = main(["report", str(fig8_trace_dir),
+                 "--chrome-out", str(chrome_out)])
+    assert code == 0
+    out = capsys.readouterr().out
+    # Per-phase durations for every captured run...
+    assert out.count("per-phase durations") == 3
+    for phase in ("map", "shuffle", "reduce"):
+        assert phase in out
+    # ...and per-device I/O metrics (Dom0 disks and guest vdisks).
+    assert "per-device I/O" in out
+    assert "h0.sda" in out
+    assert "xvda@h0v0" in out
+    assert "mean lat ms" in out
+    # The merged Chrome trace is valid trace-event JSON.
+    data = json.loads(chrome_out.read_text())
+    assert data["traceEvents"]
+    assert {"phase:map", "phase:reduce"} <= {
+        e["name"] for e in data["traceEvents"] if e["ph"] == "X"
+    }
+
+
+def test_report_cli_errors_cleanly_on_missing_path(capsys, tmp_path):
+    code = main(["report", str(tmp_path / "nope")])
+    assert code == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_trace_files_resolution(fig8_trace_dir, tmp_path):
+    files = trace_files(fig8_trace_dir)
+    assert len(files) == 3
+    assert files == sorted(files)
+    single = trace_files(files[0])
+    assert single == [files[0]]
+    with pytest.raises(FileNotFoundError):
+        trace_files(tmp_path / "empty-nope")
+
+
+def test_phase_durations_from_real_trace(fig8_trace_dir):
+    records = load_jsonl(trace_files(fig8_trace_dir)[0])
+    phases = phase_durations(records)
+    assert set(phases) == {"map", "shuffle", "reduce"}
+    start, end = phases["map"]
+    assert end > start >= 0.0
+    # Contiguity: shuffle starts where map ends, reduce where shuffle ends.
+    assert phases["shuffle"][0] == phases["map"][1]
+    assert phases["reduce"][0] == phases["shuffle"][1]
+
+
+def test_device_rows_from_real_trace(fig8_trace_dir):
+    from repro.obs.metrics import TraceMetrics
+
+    records = load_jsonl(trace_files(fig8_trace_dir)[0])
+    snapshot = TraceMetrics().replay(records).registry.snapshot()
+    rows = device_rows(snapshot)
+    devices = [row[0] for row in rows]
+    assert any(d.endswith(".sda") for d in devices)
+    assert any(d.startswith("xvda@") for d in devices)
+    for row in rows:
+        submitted, completed = row[1], row[2]
+        assert submitted >= completed >= 0
+        assert row[4] >= 0  # MB
+
+
+def test_render_timeline_handles_empty_and_aligned_phases():
+    assert "no job phase" in render_timeline({})
+    text = render_timeline({"map": (0.0, 8.0), "reduce": (8.0, 10.0)},
+                           width=20)
+    assert "timeline [0.0s .. 10.0s]" in text
+    assert "map" in text and "reduce" in text
+
+
+def test_render_report_on_synthetic_records():
+    text = render_report([
+        rec(0.0, "job.start", name="j"),
+        rec(1.0, "job.maps_done"),
+        rec(2.0, "job.done", name="j"),
+    ], title="t")
+    assert "== t ==" in text
+    assert "3 trace records" in text
+    assert "per-phase durations" in text
+    # No disk records: the device table is omitted, not empty.
+    assert "per-device I/O" not in text

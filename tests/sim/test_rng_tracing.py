@@ -137,6 +137,51 @@ def test_trace_subscribe_during_publish_does_not_see_inflight_record():
     assert got == [2]
 
 
+def test_trace_record_topic_wildcards():
+    bus = TraceBus()
+    bus.record_topic("disk.*")
+    bus.publish(1.0, "disk.submit", rid=1)
+    bus.publish(2.0, "disk.complete", rid=1)
+    bus.publish(3.0, "job.start")  # not under the recorded family
+    assert [r.topic for r in bus.records] == ["disk.submit", "disk.complete"]
+
+    bus2 = TraceBus()
+    bus2.record_topic("*")
+    bus2.publish(1.0, "anything", v=1)
+    bus2.publish(2.0, "else.entirely")
+    assert len(bus2.records) == 2
+
+
+def test_trace_recorded_uses_per_topic_index():
+    bus = TraceBus()
+    bus.record_topic("x")
+    bus.record_topic("y")
+    for i in range(5):
+        bus.publish(float(i), "x", v=i)
+    bus.publish(9.0, "y", v=99)
+    assert [r.payload["v"] for r in bus.recorded("x")] == [0, 1, 2, 3, 4]
+    assert [r.payload["v"] for r in bus.recorded("y")] == [99]
+    # recorded() hands back a copy: mutating it must not corrupt the bus.
+    view = bus.recorded("y")
+    view.clear()
+    assert len(bus.recorded("y")) == 1
+
+
+def test_trace_clear_resets_records_keeps_subscriptions():
+    bus = TraceBus()
+    got = []
+    bus.subscribe("x", got.append)
+    bus.record_topic("x")
+    bus.publish(1.0, "x", v=1)
+    bus.clear()
+    assert bus.records == []
+    assert bus.recorded("x") == []
+    # Subscriptions and recording configuration survive the clear.
+    bus.publish(2.0, "x", v=2)
+    assert [r.payload["v"] for r in bus.recorded("x")] == [2]
+    assert [r.payload["v"] for r in got] == [1, 2]
+
+
 def test_interval_sampler_bins():
     s = IntervalSampler(interval=1.0)
     s.add(0.1, 10)
@@ -150,8 +195,9 @@ def test_interval_sampler_rates():
     s = IntervalSampler(interval=2.0)
     s.add(0.5, 10)
     s.add(1.5, 10)
-    # end=2.0 closes the [0,2) bin and opens a final empty one.
-    assert s.rates(end=2.0) == [pytest.approx(10.0), 0.0]
+    # end=2.0 is an exact multiple of the interval: exactly one bin, no
+    # spurious trailing bin (the old artifact diluted mean rates).
+    assert s.rates(end=2.0) == [pytest.approx(10.0)]
 
 
 def test_interval_sampler_empty():
@@ -163,6 +209,25 @@ def test_interval_sampler_window():
     s = IntervalSampler(interval=1.0)
     for t in [0.5, 1.5, 2.5, 3.5]:
         s.add(t, 1)
-    # 0.5 precedes the window and 3.5 follows it; 3.0 lands in a final
-    # boundary bin that stays empty here.
-    assert s.series(start=1.0, end=3.0) == [1, 1, 0]
+    # 0.5 precedes the window and 3.5 follows it; the exact-multiple span
+    # yields exactly (end - start) / interval bins.
+    assert s.series(start=1.0, end=3.0) == [1, 1]
+
+
+def test_interval_sampler_boundary_event_clamps_into_last_bin():
+    # Regression: with end - start an exact multiple of interval, an
+    # event at t == end used to land alone in a spurious final bin.
+    s = IntervalSampler(interval=1.0)
+    s.add(0.5, 2)
+    s.add(1.5, 4)
+    s.add(2.0, 6)  # exactly at the window edge
+    assert s.series(end=2.0) == [2, 10]
+    assert s.rates(end=2.0) == [pytest.approx(2.0), pytest.approx(10.0)]
+
+
+def test_interval_sampler_fractional_span_keeps_partial_bin():
+    s = IntervalSampler(interval=1.0)
+    s.add(0.1, 1)
+    s.add(2.2, 3)
+    # span 2.5 -> 3 bins, the last covering the partial [2.0, 2.5] tail.
+    assert s.series(end=2.5) == [1, 0, 3]
