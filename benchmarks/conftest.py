@@ -34,7 +34,7 @@ def seeds():
 
 @pytest.fixture(scope="session")
 def scale():
-    from repro.experiments.common import DEFAULT_SCALE
+    from repro.api import DEFAULT_SCALE
 
     return DEFAULT_SCALE
 

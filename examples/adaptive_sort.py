@@ -14,7 +14,7 @@ import sys
 import time
 
 from repro import AdaptiveMetaScheduler, benchmark
-from repro.experiments.common import scaled_testbed
+from repro.api import scaled_testbed
 
 
 def main() -> None:

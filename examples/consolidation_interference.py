@@ -7,9 +7,8 @@ score at every consolidation level.
     python examples/consolidation_interference.py
 """
 
-from repro.experiments.common import scaled_cluster
-from repro.sim import Environment
-from repro.virt import SchedulerPair, VirtualCluster
+from repro.api import assemble_cluster, scaled_cluster
+from repro.virt import SchedulerPair
 from repro.workloads import SysbenchSeqWrite
 
 MB = 1024 * 1024
@@ -18,11 +17,9 @@ PAIRS = [SchedulerPair.parse(s) for s in ("cc", "ad", "dd", "nn")]
 
 
 def elapsed(pair: SchedulerPair, n_vms: int) -> float:
-    env = Environment()
-    cluster = VirtualCluster(
-        env,
+    env, cluster = assemble_cluster(
         scaled_cluster(scale=0.125, hosts=1, vms_per_host=3)
-        .with_(initial_pair=pair),
+        .with_(initial_pair=pair)
     )
     bench = SysbenchSeqWrite(
         env, cluster, total_bytes=128 * MB, n_files=16, vms_per_host=n_vms

@@ -11,7 +11,7 @@ heuristic explores at most P x S of them.
 import time
 
 from repro.core import ChainConfig, ChainRunner, HeuristicSearch, profile_single_pairs
-from repro.experiments.common import scaled_cluster, scaled_job
+from repro.api import scaled_cluster, scaled_job
 from repro.virt import SchedulerPair
 from repro.workloads import SORT
 

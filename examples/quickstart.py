@@ -8,36 +8,31 @@ Everything is simulated — the "seconds" below are simulated seconds on
 a 4-host x 4-VM Xen-style testbed with one SATA disk per host.
 """
 
-from repro.core import JobRunner
-from repro.experiments.common import scaled_testbed
-from repro.virt import SchedulerPair
-from repro.workloads import SORT
+from repro.api import Scenario, simulate
 
 
 def main() -> None:
     # A testbed like the paper's, with the dataset scaled to 1/8 so the
     # demo finishes in a few seconds of wall-clock time.
-    config = scaled_testbed(SORT, scale=0.125, seeds=(0,))
-    runner = JobRunner(config)
-
-    default = SchedulerPair("cfq", "cfq")          # stock Xen + guests
-    tuned = SchedulerPair("anticipatory", "cfq")   # paper's sort winner
+    default = Scenario(workload="sort", scale=0.125, pair="cc")  # stock Xen
+    tuned = default.with_(pair="ac")             # paper's sort winner
 
     print("running sort under two (VMM, VM) disk-scheduler pairs...\n")
-    for pair in (default, tuned):
-        outcome = runner.run_uniform(pair)
-        result = outcome.results[0]
-        p = result.phases
+    durations = {}
+    for scenario in (default, tuned):
+        res = simulate(scenario, seed=0)
+        durations[scenario.pair] = res.duration
+        p = res.result.phases
         print(
-            f"  {str(pair):12} {result.duration:7.1f}s  "
+            f"  {str(scenario.solution().assignments[0]):12} "
+            f"{res.duration:7.1f}s  "
             f"(map {p.ph1:.1f}s | shuffle {p.ph2:.1f}s | reduce {p.ph3:.1f}s; "
-            f"{result.n_maps} maps, {result.n_reducers} reducers)"
+            f"{res.result.n_maps} maps, {res.result.n_reducers} reducers)"
         )
 
-    a = runner.run_uniform(default).mean_duration
-    b = runner.run_uniform(tuned).mean_duration
+    a, b = durations["cc"], durations["ac"]
     print(
-        f"\nchoosing {tuned} instead of the default {default} "
+        f"\nchoosing (anticipatory, cfq) instead of the default (cfq, cfq) "
         f"saves {100 * (1 - b / a):.1f}% — and that is before any "
         "per-phase switching (see examples/adaptive_sort.py)."
     )

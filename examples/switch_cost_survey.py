@@ -6,7 +6,7 @@ fit the predictive model (the paper's §VII future-work item).
 """
 
 from repro.core import SwitchCostMeter, SwitchCostModel
-from repro.experiments.common import scaled_cluster
+from repro.api import scaled_cluster
 from repro.virt import SchedulerPair
 
 MB = 1024 * 1024

@@ -24,6 +24,7 @@ Quickstart::
 
 __version__ = "1.2.0"
 
+from .api import RunResult, Scenario, scaled_testbed, simulate, sweep
 from .core import (
     AdaptiveMetaScheduler,
     AdaptiveReport,
@@ -46,7 +47,9 @@ __all__ = [
     "JobRunner",
     "JobResult",
     "JobSpec",
+    "RunResult",
     "RunSpec",
+    "Scenario",
     "SchedulerPair",
     "Solution",
     "SweepJobRunner",
@@ -58,6 +61,9 @@ __all__ = [
     "all_pairs",
     "benchmark",
     "quick_adaptive_report",
+    "scaled_testbed",
+    "simulate",
+    "sweep",
     "__version__",
 ]
 
@@ -70,7 +76,7 @@ def quick_adaptive_report(benchmark_name: str = "sort", scale: float = 0.125,
     the whole pipeline runs in minutes; the winning pairs and the shape
     of the gains are scale-stable (see EXPERIMENTS.md).
     """
-    from .experiments.common import scaled_testbed
+    from .api import scaled_testbed
 
     config = scaled_testbed(benchmark(benchmark_name), scale=scale, seeds=seeds)
     return AdaptiveMetaScheduler(config).report()

@@ -1,0 +1,30 @@
+"""``repro.bench`` — the performance harness and its canonical scenarios.
+
+``repro bench`` (CLI) or :func:`repro.bench.main` times digest-pinned
+scenarios and writes ``BENCH_<rev>.json`` at the repo root; see
+:mod:`repro.bench.harness` for the schema and :mod:`repro.bench.scenarios`
+for the workload definitions and golden digests.
+"""
+
+from .harness import (
+    BenchError,
+    ScenarioTiming,
+    bench_payload_digest,
+    main,
+    run_scenario,
+    write_bench_file,
+)
+from .scenarios import GATE_SCENARIO, SCENARIOS, Baseline, BenchScenario
+
+__all__ = [
+    "Baseline",
+    "BenchError",
+    "BenchScenario",
+    "GATE_SCENARIO",
+    "SCENARIOS",
+    "ScenarioTiming",
+    "bench_payload_digest",
+    "main",
+    "run_scenario",
+    "write_bench_file",
+]

@@ -7,6 +7,7 @@ Usage::
     python -m repro all --scale 0.1 --seeds 0 --cache-dir /tmp/repro
     python -m repro fig8 --seeds 0 --trace-out traces/
     python -m repro report traces/ --chrome-out traces/job.chrome.json
+    python -m repro bench --quick
 
 Each experiment prints the table/series of its paper artifact plus its
 PASS/FAIL shape checks.  Simulations fan out over ``--jobs`` worker
@@ -18,6 +19,9 @@ without simulating (``--no-cache`` disables the disk cache).
 ``DIR/<run>.trace.jsonl`` (plus a metrics snapshot); ``repro report``
 renders those artifacts — per-phase durations, per-device I/O, a phase
 timeline — and can re-export them as a Chrome/Perfetto trace.
+
+``repro bench`` times the canonical scenarios against their golden
+payload digests and writes ``BENCH_<rev>.json`` (see :mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -30,8 +34,8 @@ import sys
 import time
 from typing import List, Optional, Set
 
-from .experiments import DEFAULT_SCALE, EXPERIMENTS
-from .experiments.common import validate_scale
+from .api import DEFAULT_SCALE, validate_scale
+from .experiments import EXPERIMENTS
 from .faults import PRESETS
 from .obs import capture
 from .obs.metrics import merge_snapshots
@@ -251,6 +255,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "report":
         return run_report(argv[1:])
+    if argv and argv[0] == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 

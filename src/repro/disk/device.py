@@ -23,7 +23,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from ..iosched.base import DispatchDecision, IOScheduler
-from ..sim.events import AnyOf, Event
+from ..sim.events import PENDING, AnyOf, Event, Timeout
 from .model import ServiceTimeModel
 from .request import BlockRequest
 from .stats import DeviceStats
@@ -115,11 +115,11 @@ class ElevatorQueue(abc.ABC):
 
     def submit(self, request: BlockRequest) -> Event:
         """Queue a request; returns its completion event."""
-        now = self.env.now
+        now = self.env._now
         request.queue_time = now
         if request.submit_time is None:
             request.submit_time = now
-        request.completion = self.env.event()
+        request.completion = Event(self.env)
         if self._switching:
             if self.quiesce_holds_arrivals:
                 # Quiesced: the submitter blocks until the new elevator
@@ -267,34 +267,39 @@ class ElevatorQueue(abc.ABC):
 
     # -- dispatch loop ------------------------------------------------------------------
     def _kick(self) -> None:
-        if not self._wakeup.triggered:
-            self._wakeup.succeed()
+        wakeup = self._wakeup
+        if wakeup._value is PENDING:
+            wakeup.succeed()
 
     def _run(self):
         env = self.env
         while True:
-            if self._paused:
-                self._wakeup = env.event()
+            if self._paused or not self._can_dispatch:
+                # Paused, or service path saturated (spindle busy /
+                # ring full).
+                self._wakeup = Event(env)
                 yield self._wakeup
                 continue
-            if not self._can_dispatch:
-                # Service path saturated (spindle busy / ring full).
-                self._wakeup = env.event()
-                yield self._wakeup
-                continue
-            decision = self._next_decision()
-            if decision.request is not None:
-                yield from self._serve(decision.request)
-            elif decision.wait_until is not None and decision.wait_until > env.now:
+            if self._drain_fifo:
+                decision = DispatchDecision(request=self._drain_fifo.popleft())
+            elif self._switching:
+                decision = DispatchDecision()  # held requests wait out the switch
+            else:
+                decision = self.scheduler.next_request(env._now)
+            request = decision.request
+            wait_until = decision.wait_until
+            if request is not None:
+                yield from self._serve(request)
+            elif wait_until is not None and wait_until > env._now:
                 # Anticipation / slice idling: hold unless a new request
                 # arrives first.
-                self._wakeup = env.event()
-                hold = env.timeout(decision.wait_until - env.now)
+                self._wakeup = Event(env)
+                hold = Timeout(env, wait_until - env._now)
                 yield AnyOf(env, [self._wakeup, hold])
-            elif decision.wait_until is not None:
+            elif wait_until is not None:
                 continue  # hold already expired; ask again
             else:
-                self._wakeup = env.event()
+                self._wakeup = Event(env)
                 yield self._wakeup
 
     def _next_decision(self) -> DispatchDecision:
@@ -302,16 +307,17 @@ class ElevatorQueue(abc.ABC):
             return DispatchDecision(request=self._drain_fifo.popleft())
         if self._switching:
             return DispatchDecision()  # held requests wait out the switch
-        return self.scheduler.next_request(self.env.now)
+        return self.scheduler.next_request(self.env._now)
 
     def _completed(self, request: BlockRequest) -> None:
         """Common completion path: notify scheduler, waiters, tracing."""
-        request.complete_time = self.env.now
+        now = self.env._now
+        request.complete_time = now
         if not self._switching:
-            self.scheduler.on_complete(request, self.env.now)
+            self.scheduler.on_complete(request, now)
         if self.trace is not None:
             self.trace.publish(
-                self.env.now,
+                now,
                 "disk.complete",
                 device=self.name,
                 rid=request.rid,
@@ -323,8 +329,11 @@ class ElevatorQueue(abc.ABC):
                 # rid completes exactly once.
                 merged_rids=request.all_rids()[1:],
             )
-        for event in request.all_completions():
-            event.succeed(request)
+        if request.merged_children:
+            for event in request.all_completions():
+                event.succeed(request)
+        elif request.completion is not None:
+            request.completion.succeed(request)
         if self._switching:
             self._drain_watch.discard(request.rid)
             self._notify_switch_waiters()
@@ -367,12 +376,12 @@ class DiskDevice(ElevatorQueue):
     def _serve(self, request: BlockRequest):
         env = self.env
         self.in_flight = request
-        request.dispatch_time = env.now
+        request.dispatch_time = env._now
         breakdown = self.model.service(request)
         service_time = breakdown.total * self.service_scale + self.extra_latency
-        yield env.timeout(service_time)
+        yield Timeout(env, service_time)
         self.in_flight = None
-        request.complete_time = env.now  # stats need it before _completed
+        request.complete_time = env._now  # stats need it before _completed
         if self.trace is not None:
             # Service breakdown is only known at the spindle; vdisks
             # forward, so this topic is Dom0-device-only by design.

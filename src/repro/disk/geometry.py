@@ -37,10 +37,17 @@ class DiskGeometry:
             raise ValueError("geometry dimensions must be positive")
         if self.inner_rate <= 0 or self.outer_rate < self.inner_rate:
             raise ValueError("rates must satisfy 0 < inner_rate <= outer_rate")
+        # Derived values cached outside the dataclass fields (the class
+        # is frozen, so set via object.__setattr__); every serviced
+        # request maps LBAs to cylinders, so these are hot.
+        object.__setattr__(self, "_spc", max(1, self.total_sectors // self.cylinders))
+        object.__setattr__(self, "_last_cyl", self.cylinders - 1)
+        object.__setattr__(self, "_cyl_denom", max(1, self.cylinders - 1))
+        object.__setattr__(self, "_rate_span", self.outer_rate - self.inner_rate)
 
     @property
     def sectors_per_cylinder(self) -> int:
-        return max(1, self.total_sectors // self.cylinders)
+        return self._spc
 
     @property
     def capacity_bytes(self) -> int:
@@ -50,7 +57,8 @@ class DiskGeometry:
         """Cylinder containing ``lba`` (clamped to the last cylinder)."""
         if lba < 0:
             raise ValueError(f"negative LBA {lba}")
-        return min(lba // self.sectors_per_cylinder, self.cylinders - 1)
+        cyl = lba // self._spc
+        return cyl if cyl < self._last_cyl else self._last_cyl
 
     def rate_at(self, lba: int) -> float:
         """Sequential transfer rate (bytes/s) at ``lba``.
@@ -58,8 +66,8 @@ class DiskGeometry:
         Outer cylinders (low LBAs) are fastest, falling linearly to the
         inner rate — the standard zoned-bit-recording approximation.
         """
-        frac = self.cylinder_of(lba) / max(1, self.cylinders - 1)
-        return self.outer_rate - frac * (self.outer_rate - self.inner_rate)
+        frac = self.cylinder_of(lba) / self._cyl_denom
+        return self.outer_rate - frac * self._rate_span
 
     def seek_distance(self, from_lba: int, to_lba: int) -> int:
         """Seek distance in cylinders between two LBAs."""

@@ -81,20 +81,34 @@ class ServiceTimeModel:
     def __post_init__(self) -> None:
         if self.rng is None:
             self.rng = np.random.default_rng(0)
+        # Rotational-latency draws, fetched from the Generator in batches.
+        # A batched ``uniform(lo, hi, n)`` yields the bit-identical
+        # sequence the same Generator would produce via n single draws,
+        # and this model owns its stream, so results are unchanged.
+        self._rot_draws: list = []
+        self._rot_idx = 0
 
     def service(self, request: BlockRequest) -> ServiceBreakdown:
         """Compute the service breakdown for ``request`` and move the head."""
-        b = ServiceBreakdown(overhead=self.params.command_overhead)
+        params = self.params
+        b = ServiceBreakdown(overhead=params.command_overhead)
 
-        sequential = request.lba == self.head_lba
-        if not sequential:
+        if request.lba != self.head_lba:
             distance = self.geometry.seek_distance(self.head_lba, request.lba)
-            b.seek = self.params.seek_time(distance)
+            b.seek = params.seek_time(distance)
             # Repositioned (possibly within the same cylinder): wait for
             # the target sector to come around.
-            b.rotation = float(self.rng.uniform(0.0, self.params.rotation_time))
+            idx = self._rot_idx
+            draws = self._rot_draws
+            if idx == len(draws):
+                draws = self._rot_draws = self.rng.uniform(
+                    0.0, params.rotation_time, 512
+                ).tolist()
+                idx = 0
+            b.rotation = draws[idx]
+            self._rot_idx = idx + 1
             if request.op is IoOp.WRITE:
-                b.seek += self.params.write_settle
+                b.seek += params.write_settle
 
         rate = self.geometry.rate_at(request.lba)
         b.transfer = request.nbytes / rate

@@ -6,12 +6,12 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..sim.tracing import IntervalSampler
-from .request import BlockRequest, IoOp
+from .request import SECTOR_SIZE, BlockRequest, IoOp
 
 __all__ = ["DeviceStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceStats:
     """Rolling statistics for one block device.
 
@@ -41,21 +41,23 @@ class DeviceStats:
     def on_complete(self, request: BlockRequest, service_total: float,
                     seek: float, rotation: float, transfer: float) -> None:
         """Record a completed request (after merging, so one disk command)."""
+        nbytes = request.nsectors * SECTOR_SIZE
         if request.op is IoOp.READ:
-            self.read_bytes += request.nbytes
+            self.read_bytes += nbytes
             self.read_count += 1
         else:
-            self.write_bytes += request.nbytes
+            self.write_bytes += nbytes
             self.write_count += 1
-        self.merged_count += len(request.merged_children)
+        if request.merged_children:
+            self.merged_count += len(request.merged_children)
         self.busy_time += service_total
         self.seek_time += seek
         self.rotation_time += rotation
         self.transfer_time += transfer
-        assert request.complete_time is not None
-        self.throughput.add(request.complete_time, request.nbytes)
-        if self.keep_latencies and request.latency is not None:
-            self.latencies.append(request.latency)
+        complete_time = request.complete_time
+        self.throughput._events.append((complete_time, nbytes))
+        if self.keep_latencies and request.queue_time is not None:
+            self.latencies.append(complete_time - request.queue_time)
 
     @property
     def total_bytes(self) -> int:

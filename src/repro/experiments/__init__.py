@@ -21,7 +21,7 @@ from . import (
     table2_waves,
 )
 from .base import ExperimentResult, ShapeCheck
-from .common import DEFAULT_SCALE, scaled_cluster, scaled_job, scaled_testbed
+from ..api import DEFAULT_SCALE, scaled_cluster, scaled_job, scaled_testbed
 
 #: Registry for the CLI: experiment id -> zero-config callable.
 EXPERIMENTS = {

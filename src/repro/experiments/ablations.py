@@ -30,7 +30,7 @@ from ..runner import (
 from ..virt.pair import DEFAULT_PAIR, SchedulerPair, all_pairs
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
-from .common import DEFAULT_SCALE, scaled_cluster, scaled_job, scaled_testbed
+from ..api import DEFAULT_SCALE, scaled_cluster, scaled_job, scaled_testbed
 
 __all__ = ["run_mechanisms", "run_online", "run_chain", "run_phase_count"]
 

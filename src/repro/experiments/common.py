@@ -1,27 +1,17 @@
-"""Shared experiment configuration: the calibrated testbed profile.
+"""Deprecated: the calibrated-testbed helpers moved to :mod:`repro.api`.
 
-All experiments run on one calibrated testbed matching the paper's:
-4 hosts × 4 VMs, 1 TB SATA per host, 1 Gb/s NICs, Hadoop 0.19 slot
-layout.  Because a Python discrete-event simulation of the full 512 MB
-per-node dataset costs minutes per job run, experiments support a
-``scale`` factor that shrinks every *data* quantity (input per node,
-block size, sort/shuffle buffers, page-cache sizes) by the same ratio —
-preserving the structure that drives the paper's effects (number of
-map waves, spill counts, cache-hit behaviour, dirty-throttle pressure)
-while cutting the event count.  ``scale=1.0`` is the paper's exact
-sizing; the default ``DEFAULT_SCALE`` is read from the
-``REPRO_SCALE`` environment variable (falling back to 0.25).
+This module used to own ``scaled_testbed`` and friends; they are now
+part of the stable public facade.  Importing them from here still works
+but raises a :class:`DeprecationWarning` — update imports to::
+
+    from repro.api import scaled_testbed, scaled_cluster, ...
 """
 
 from __future__ import annotations
 
-import os
-from typing import Optional, Sequence, Tuple
+import warnings
 
-from ..core.experiment import TestbedConfig
-from ..mapreduce.job import MB, JobConfig, JobSpec
-from ..virt.cluster import ClusterConfig
-from ..virt.pagecache import PageCacheParams
+from .. import api as _api
 
 __all__ = [
     "DEFAULT_SCALE",
@@ -32,109 +22,24 @@ __all__ = [
     "validate_scale",
 ]
 
-
-def validate_scale(value: float, source: str = "scale") -> float:
-    """Check a data-size scale factor is usable; returns it unchanged."""
-    if not 0 < value <= 1:
-        raise ValueError(f"{source} must be in (0, 1], got {value}")
-    return value
+#: Names forwarded (with a deprecation warning) to :mod:`repro.api`.
+_MOVED = frozenset(__all__) | {"PAPER_SEEDS", "scaled_pagecache"}
 
 
-def _env_scale() -> float:
-    raw = os.environ.get("REPRO_SCALE", "0.25")
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from None
-    return validate_scale(value, source="REPRO_SCALE")
-
-
-#: Global data-size scale for experiments (1.0 = paper-exact sizes).
-DEFAULT_SCALE = _env_scale()
-
-#: Seeds for the paper's "average of three consecutive runs".
-PAPER_SEEDS: Tuple[int, ...] = (0, 1, 2)
-
-
-def default_seeds(n: int = 3) -> Tuple[int, ...]:
-    """The first ``n`` experiment seeds.
-
-    Starts with the paper's three consecutive runs and keeps counting
-    upward past them, so asking for more seeds than the paper used
-    extends the set deterministically instead of silently truncating
-    to three.
-    """
-    if n <= len(PAPER_SEEDS):
-        return PAPER_SEEDS[:n]
-    return PAPER_SEEDS + tuple(range(len(PAPER_SEEDS), n))
-
-
-def scaled_pagecache(scale: float) -> PageCacheParams:
-    """Guest page-cache sizing, scaled with the dataset."""
-    return PageCacheParams(
-        capacity_bytes=max(8 * MB, int(600 * MB * scale)),
-        dirty_background_bytes=max(2 * MB, int(32 * MB * scale)),
-        dirty_limit_bytes=max(4 * MB, int(128 * MB * scale)),
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.experiments.common.{name} moved to repro.api.{name}; "
+            "the repro.experiments.common alias will be removed in a "
+            "future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_api, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
     )
 
 
-def scaled_cluster(
-    scale: float = DEFAULT_SCALE,
-    hosts: int = 4,
-    vms_per_host: int = 4,
-    seed: int = 0,
-) -> ClusterConfig:
-    """The paper's testbed shape with scaled guest memory sizing."""
-    return ClusterConfig(
-        hosts=hosts,
-        vms_per_host=vms_per_host,
-        pagecache=scaled_pagecache(scale),
-        seed=seed,
-    )
-
-
-def scaled_job(
-    spec: JobSpec,
-    scale: float = DEFAULT_SCALE,
-    bytes_per_vm: Optional[int] = None,
-    **overrides,
-) -> JobConfig:
-    """Paper job sizing × ``scale``.
-
-    Defaults keep the paper's 8 blocks per VM (4 map waves at 2 slots)
-    whatever the scale, because the wave count — not the absolute bytes —
-    controls the phase structure (paper Table II).
-    """
-    if bytes_per_vm is None:
-        bytes_per_vm = int(512 * MB * scale)
-    block_size = max(1 * MB, bytes_per_vm // 8)
-    # Keep the input an exact multiple of the block size so the wave
-    # count stays exactly 8/slots (a remainder byte would add a block).
-    bytes_per_vm = block_size * max(1, bytes_per_vm // block_size)
-    return JobConfig(
-        spec=spec,
-        bytes_per_vm=bytes_per_vm,
-        block_size=block_size,
-        sort_buffer_bytes=max(2 * MB, int(100 * MB * scale)),
-        shuffle_buffer_bytes=max(2 * MB, int(128 * MB * scale)),
-        **overrides,
-    )
-
-
-def scaled_testbed(
-    spec: JobSpec,
-    scale: float = DEFAULT_SCALE,
-    hosts: int = 4,
-    vms_per_host: int = 4,
-    seeds: Sequence[int] = PAPER_SEEDS,
-    n_phases: int = 2,
-    bytes_per_vm: Optional[int] = None,
-    **job_overrides,
-) -> TestbedConfig:
-    """One-stop testbed for experiments and examples."""
-    return TestbedConfig(
-        cluster=scaled_cluster(scale, hosts=hosts, vms_per_host=vms_per_host),
-        job=scaled_job(spec, scale, bytes_per_vm=bytes_per_vm, **job_overrides),
-        seeds=tuple(seeds),
-        n_phases=n_phases,
-    )
+def __dir__():
+    return sorted(set(globals()) | _MOVED)

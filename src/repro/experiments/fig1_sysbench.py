@@ -17,7 +17,7 @@ from ..runner import RunSpec, SweepRunner, default_runner
 from ..virt.pair import DEFAULT_PAIR, SchedulerPair, all_pairs
 from ..workloads.sysbench import MB
 from .base import ExperimentResult, ShapeCheck
-from .common import DEFAULT_SCALE, scaled_cluster
+from ..api import DEFAULT_SCALE, scaled_cluster
 
 __all__ = ["run"]
 

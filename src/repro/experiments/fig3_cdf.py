@@ -17,7 +17,7 @@ from ..runner import RunSpec, SweepRunner, default_runner
 from ..virt.pair import SchedulerPair
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
-from .common import DEFAULT_SCALE, scaled_job, scaled_cluster
+from ..api import DEFAULT_SCALE, scaled_job, scaled_cluster
 
 __all__ = ["run", "COMPARED_PAIRS"]
 

@@ -21,7 +21,7 @@ from ..runner import SweepJobRunner, SweepRunner, default_runner
 from ..virt.pair import DEFAULT_PAIR, SchedulerPair
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
-from .common import DEFAULT_SCALE, scaled_testbed
+from ..api import DEFAULT_SCALE, scaled_testbed
 
 __all__ = ["run", "DEFAULT_POINT_PAIRS", "CHECKPOINTS"]
 

@@ -20,7 +20,7 @@ from ..runner import SweepRunner, default_runner
 from ..virt.pair import SchedulerPair, all_pairs
 from ..workloads.ddwrite import MB
 from .base import ExperimentResult, ShapeCheck
-from .common import DEFAULT_SCALE, scaled_cluster
+from ..api import DEFAULT_SCALE, scaled_cluster
 
 __all__ = ["run", "DEFAULT_STATES"]
 

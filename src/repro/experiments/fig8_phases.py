@@ -16,7 +16,7 @@ from ..runner import SweepJobRunner, SweepRunner, default_runner
 from ..virt.pair import DEFAULT_PAIR
 from ..workloads.profiles import SORT, WORDCOUNT, WORDCOUNT_NO_COMBINER
 from .base import ExperimentResult, ShapeCheck
-from .common import DEFAULT_SCALE, scaled_testbed
+from ..api import DEFAULT_SCALE, scaled_testbed
 
 __all__ = ["run"]
 

@@ -25,7 +25,7 @@ from ..runner.kinds import decode_job_result
 from ..virt.pair import DEFAULT_PAIR, SchedulerPair
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
-from .common import DEFAULT_SCALE, scaled_testbed
+from ..api import DEFAULT_SCALE, scaled_testbed
 
 __all__ = ["run", "SOLUTIONS", "DEFAULT_PRESETS"]
 

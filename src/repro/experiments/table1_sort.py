@@ -23,7 +23,7 @@ from ..runner import SweepRunner
 from ..virt.pair import DEFAULT_PAIR, SchedulerPair
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
-from .common import DEFAULT_SCALE
+from ..api import DEFAULT_SCALE
 from .fig2_pairs import run_one_benchmark
 
 __all__ = ["run", "PAPER_TABLE_I"]

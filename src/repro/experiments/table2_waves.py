@@ -18,7 +18,7 @@ from ..metrics.summary import format_table
 from ..runner import SweepJobRunner, SweepRunner, default_runner
 from ..workloads.profiles import SORT
 from .base import ExperimentResult, ShapeCheck
-from .common import DEFAULT_SCALE, scaled_testbed
+from ..api import DEFAULT_SCALE, scaled_testbed
 from ..mapreduce.job import MB
 
 __all__ = ["run", "PAPER_TABLE_II", "DEFAULT_WAVES"]

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import abc
 from bisect import bisect_left, bisect_right, insort
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from ..disk.request import BlockRequest
@@ -32,7 +31,6 @@ __all__ = [
 DEFAULT_MAX_SECTORS = 1024
 
 
-@dataclass(frozen=True)
 class DispatchDecision:
     """Answer to "what should the disk do now?".
 
@@ -42,10 +40,21 @@ class DispatchDecision:
     * ``wait_until`` set — hold the disk idle until that time unless a
       new request arrives first (anticipation / CFQ slice idling);
     * neither — the scheduler is empty; sleep until an arrival.
+
+    A plain slotted class (not a dataclass): one is allocated per
+    dispatch-loop iteration, which makes construction cost visible.
     """
 
-    request: Optional[BlockRequest] = None
-    wait_until: Optional[float] = None
+    __slots__ = ("request", "wait_until")
+
+    def __init__(self, request: Optional[BlockRequest] = None,
+                 wait_until: Optional[float] = None):
+        self.request = request
+        self.wait_until = wait_until
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"DispatchDecision(request={self.request!r}, "
+                f"wait_until={self.wait_until!r})")
 
     @property
     def idle(self) -> bool:
@@ -156,28 +165,31 @@ class IOScheduler(abc.ABC):
     def add_request(self, request: BlockRequest, now: float) -> bool:
         """Queue ``request``; returns True if it merged into another."""
         self.total_added += 1
-        target = self._back_map.get(request.lba)
+        back_map = self._back_map
+        front_map = self._front_map
+        end_lba = request.lba + request.nsectors
+        target = back_map.get(request.lba)
         if target is not None and target.can_back_merge(request, self.max_sectors):
-            del self._back_map[target.end_lba]
+            del back_map[target.end_lba]
             target.back_merge(request)
-            self._back_map[target.end_lba] = target
+            back_map[target.end_lba] = target
             self.total_merged += 1
             self._on_merged(target, now)
             return True
 
-        target = self._front_map.get(request.end_lba)
+        target = front_map.get(end_lba)
         if target is not None and target.can_front_merge(request, self.max_sectors):
             old_lba = target.lba
-            del self._front_map[target.lba]
+            del front_map[target.lba]
             target.front_merge(request)
-            self._front_map[target.lba] = target
+            front_map[target.lba] = target
             self.total_merged += 1
             self._repositioned(target, old_lba)
             self._on_merged(target, now)
             return True
 
-        self._back_map[request.end_lba] = request
-        self._front_map[request.lba] = request
+        back_map[end_lba] = request
+        front_map[request.lba] = request
         self.queued += 1
         self._enqueue(request, now)
         return False
@@ -228,7 +240,8 @@ class IOScheduler(abc.ABC):
     # -- helpers -----------------------------------------------------------------
     def _forget(self, request: BlockRequest) -> None:
         """Drop a request from the merge maps once dispatched."""
-        if self._back_map.get(request.end_lba) is request:
-            del self._back_map[request.end_lba]
+        end_lba = request.lba + request.nsectors
+        if self._back_map.get(end_lba) is request:
+            del self._back_map[end_lba]
         if self._front_map.get(request.lba) is request:
             del self._front_map[request.lba]

@@ -49,7 +49,9 @@ class CfqScheduler(IOScheduler):
         self._sync_queues: Dict[Any, SortedRequestList] = {}
         self._rr: Deque[Any] = deque()  # round-robin order of sync pids
         self._async: SortedRequestList = SortedRequestList()
-        self._async_fifo: Deque[BlockRequest] = deque()  # arrival order
+        # Arrival-ordered by rid; a dict gives O(1) removal where a
+        # deque's .remove() scans the whole FIFO per dispatch.
+        self._async_fifo: Dict[int, BlockRequest] = {}
         self._active: Optional[Any] = None  # pid or the _ASYNC sentinel
         self._slice_end: float = 0.0
         self._idle_until: Optional[float] = None
@@ -73,7 +75,7 @@ class CfqScheduler(IOScheduler):
             queue.add(request)
         else:
             self._async.add(request)
-            self._async_fifo.append(request)
+            self._async_fifo[request.rid] = request
 
     def _repositioned(self, request: BlockRequest, old_lba: int) -> None:
         if request.sync:
@@ -85,7 +87,7 @@ class CfqScheduler(IOScheduler):
         drained: List[BlockRequest] = []
         for queue in self._sync_queues.values():
             drained.extend(queue)
-        drained.extend(self._async_fifo)
+        drained.extend(self._async_fifo.values())
         self._sync_queues.clear()
         self._rr.clear()
         self._async = SortedRequestList()
@@ -102,7 +104,8 @@ class CfqScheduler(IOScheduler):
 
         # Anti-starvation: force an async slice when writeback has waited
         # too long, regardless of pending sync work.
-        if self._active is not self._ASYNC and self._async_starving(now):
+        if (self._active is not self._ASYNC and self._async_fifo
+                and self._async_starving(now)):
             self._start_slice(self._ASYNC, now, self.params.slice_async)
 
         if self._active is not None:
@@ -126,7 +129,7 @@ class CfqScheduler(IOScheduler):
     def _async_starving(self, now: float) -> bool:
         if not self._async_fifo:
             return False
-        oldest = self._async_fifo[0]
+        oldest = next(iter(self._async_fifo.values()))
         return oldest.deadline is not None and (
             now - oldest.deadline >= self.params.async_max_wait
         )
@@ -139,11 +142,13 @@ class CfqScheduler(IOScheduler):
 
     def _next_sync_pid(self) -> Optional[Any]:
         """Rotate to the next process with pending sync requests."""
-        for _ in range(len(self._rr)):
-            pid = self._rr[0]
-            self._rr.rotate(-1)
-            queue = self._sync_queues.get(pid)
-            if queue is not None and len(queue):
+        rr = self._rr
+        queues = self._sync_queues
+        for _ in range(len(rr)):
+            pid = rr[0]
+            rr.rotate(-1)
+            queue = queues.get(pid)
+            if queue is not None and len(queue._keys):
                 return pid
         return None
 
@@ -156,7 +161,7 @@ class CfqScheduler(IOScheduler):
             request = self._async.first_at_or_after(self._last_end, wrap=True)
             assert request is not None
             self._async.remove(request)
-            self._async_fifo.remove(request)
+            del self._async_fifo[request.rid]
             self._last_end = request.end_lba
             return DispatchDecision(request=request)
 
@@ -166,7 +171,7 @@ class CfqScheduler(IOScheduler):
             self._active = None
             self._idle_until = None
             return None
-        if queue is not None and len(queue):
+        if queue is not None and len(queue._keys):
             self._idle_until = None
             request = queue.first_at_or_after(self._last_end, wrap=True)
             assert request is not None

@@ -15,9 +15,8 @@ anticipatory scheduler was invented to fix.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..disk.request import BlockRequest, IoOp
 from .base import DispatchDecision, IOScheduler, SortedRequestList
@@ -49,9 +48,11 @@ class DeadlineScheduler(IOScheduler):
             IoOp.READ: SortedRequestList(),
             IoOp.WRITE: SortedRequestList(),
         }
-        self._fifo: Dict[IoOp, Deque[BlockRequest]] = {
-            IoOp.READ: deque(),
-            IoOp.WRITE: deque(),
+        # Arrival-ordered by rid; a plain dict gives O(1) removal where a
+        # deque's .remove() scans the whole FIFO per dispatch.
+        self._fifo: Dict[IoOp, Dict[int, BlockRequest]] = {
+            IoOp.READ: {},
+            IoOp.WRITE: {},
         }
         #: End LBA of the last dispatched request (elevator position).
         self._last_end = 0
@@ -68,7 +69,7 @@ class DeadlineScheduler(IOScheduler):
         )
         request.deadline = now + expire
         self._sorted[request.op].add(request)
-        self._fifo[request.op].append(request)
+        self._fifo[request.op][request.rid] = request
 
     def _repositioned(self, request: BlockRequest, old_lba: int) -> None:
         self._sorted[request.op].reposition(request, old_lba)
@@ -76,7 +77,7 @@ class DeadlineScheduler(IOScheduler):
     def _drain_all(self) -> List[BlockRequest]:
         drained: List[BlockRequest] = []
         for op in (IoOp.READ, IoOp.WRITE):
-            drained.extend(self._fifo[op])
+            drained.extend(self._fifo[op].values())
             self._fifo[op].clear()
             self._sorted[op] = SortedRequestList()
         self._batch_dir = None
@@ -112,7 +113,7 @@ class DeadlineScheduler(IOScheduler):
 
         queue = self._sorted[direction]
         fifo = self._fifo[direction]
-        head = fifo[0]
+        head = next(iter(fifo.values()))
         if head.deadline is not None and head.deadline <= now:
             # Expired: jump the elevator to the oldest request.
             target = head
@@ -126,7 +127,7 @@ class DeadlineScheduler(IOScheduler):
     # -- internals ---------------------------------------------------------------
     def _dispatch(self, request: BlockRequest) -> DispatchDecision:
         self._sorted[request.op].remove(request)
-        self._fifo[request.op].remove(request)
+        del self._fifo[request.op][request.rid]
         self._last_end = request.end_lba
         self._batch_left -= 1
         return DispatchDecision(request=request)

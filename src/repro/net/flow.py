@@ -33,13 +33,18 @@ def reset_fids() -> None:
 class Link:
     """A unidirectional capacity constraint (bytes/second)."""
 
-    __slots__ = ("name", "capacity", "flows")
+    __slots__ = ("name", "capacity", "flows", "_epoch", "_residual", "_count")
 
     def __init__(self, name: str, capacity: float):
         if capacity <= 0:
             raise ValueError(f"link capacity must be positive: {name}")
         self.name = name
         self.capacity = capacity
+        # Scratch used by FlowNetwork._reallocate_and_schedule, valid
+        # only within the reallocation epoch stamped on ``_epoch``.
+        self._epoch = 0
+        self._residual = 0.0
+        self._count = 0
         # Insertion-ordered (dict keys) so iteration order — and hence
         # float accumulation order — is a function of the run alone,
         # not of the process-global flow counter.
@@ -53,7 +58,7 @@ class Flow:
     """One in-progress transfer across a fixed set of links."""
 
     __slots__ = ("fid", "links", "remaining", "nbytes", "rate", "done", "label",
-                 "start_time")
+                 "start_time", "_epoch")
 
     def __init__(self, links: Tuple[Link, ...], nbytes: float, done: Event,
                  label: Any, start_time: float):
@@ -65,6 +70,9 @@ class Flow:
         self.done = done
         self.label = label
         self.start_time = start_time
+        # Epoch stamp: marks the flow rate-assigned during a
+        # reallocation pass (see FlowNetwork._reallocate_and_schedule).
+        self._epoch = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"<Flow #{self.fid} {self.label!r} left={self.remaining:.0f}B @{self.rate:.0f}B/s>"
@@ -84,6 +92,7 @@ class FlowNetwork:
         self._flows: Dict[Flow, None] = {}
         self._last_update = env.now
         self._generation = 0
+        self._epoch = 0
         self.completed_flows = 0
         self.bytes_transferred = 0.0
 
@@ -100,12 +109,12 @@ class FlowNetwork:
             raise ValueError("nbytes must be non-negative")
         if not links:
             raise ValueError("a flow needs at least one link")
-        done = self.env.event()
+        done = Event(self.env)
         if nbytes == 0:
             done.succeed(0.0)
             return done
         self._advance()
-        flow = Flow(tuple(links), nbytes, done, label, self.env.now)
+        flow = Flow(tuple(links), nbytes, done, label, self.env._now)
         self._flows[flow] = None
         for link in flow.links:
             link.flows[flow] = None
@@ -120,7 +129,7 @@ class FlowNetwork:
 
     def _advance(self) -> None:
         """Charge elapsed progress to every active flow."""
-        now = self.env.now
+        now = self.env._now
         dt = now - self._last_update
         self._last_update = now
         if dt <= 0 or not self._flows:
@@ -136,61 +145,75 @@ class FlowNetwork:
         if not self._flows:
             return
 
-        # -- max-min rates (index-based progressive filling) ---------------------
-        flows = list(self._flows)
-        link_index: Dict[int, int] = {}
-        residual: List[float] = []
-        counts: List[int] = []
-        link_members: List[List[int]] = []
-        flow_link_idx: List[List[int]] = []
-        for fi, flow in enumerate(flows):
-            idxs = []
-            for link in flow.links:
-                li = link_index.get(id(link))
-                if li is None:
-                    li = len(residual)
-                    link_index[id(link)] = li
-                    residual.append(link.capacity)
-                    counts.append(0)
-                    link_members.append([])
-                counts[li] += 1
-                link_members[li].append(fi)
-                idxs.append(li)
-            flow_link_idx.append(idxs)
+        # Fast path: a lone flow gets the capacity of its tightest link
+        # (progressive filling with one flow divides each capacity by 1,
+        # which is exact, then takes the first strict minimum — min()
+        # over the links in order is the identical result).
+        if len(self._flows) == 1:
+            (flow,) = self._flows
+            flow.rate = rate = min(link.capacity for link in flow.links)
+            eta = flow.remaining / rate
+            gen = self._generation
+            wakeup = self.env.timeout(eta if eta > 1e-9 else 1e-9)
+            wakeup.callbacks.append(lambda _ev, gen=gen: self._on_wakeup(gen))
+            return
 
-        assigned = [False] * len(flows)
-        remaining = len(flows)
+        # -- max-min rates (progressive filling on link scratch slots) ------------
+        # Residual capacity and unassigned-flow counts live directly on
+        # the Link objects for the duration of one epoch.  Bottleneck
+        # candidates are scanned in first-encounter order and members in
+        # ``link.flows`` order; both match the order of ``self._flows``
+        # exactly as the old index-list build did, so rates come out in
+        # the identical sequence of float operations.
+        flows_dict = self._flows
+        epoch = self._epoch = self._epoch + 1
+        links: List[Link] = []
+        for flow in flows_dict:
+            for link in flow.links:
+                if link._epoch != epoch:
+                    link._epoch = epoch
+                    link._residual = link.capacity
+                    link._count = 1
+                    links.append(link)
+                else:
+                    link._count += 1
+
+        remaining = len(flows_dict)
+        inf = float("inf")
         while remaining:
             # Fair share on each link among its unassigned flows.
-            best_share = None
-            bottleneck = -1
-            for li in range(len(residual)):
-                count = counts[li]
+            best_share = inf
+            bottleneck = None
+            for link in links:
+                count = link._count
                 if count == 0:
                     continue
-                share = residual[li] / count
-                if best_share is None or share < best_share:
-                    best_share, bottleneck = share, li
-            if bottleneck < 0:  # pragma: no cover - defensive
+                share = link._residual / count
+                if share < best_share:
+                    best_share, bottleneck = share, link
+            if bottleneck is None:  # pragma: no cover - defensive
                 break
-            for fi in link_members[bottleneck]:
-                if assigned[fi]:
-                    continue
-                flows[fi].rate = best_share
-                assigned[fi] = True
+            for flow in bottleneck.flows:
+                if flow._epoch == epoch:
+                    continue  # already assigned this pass
+                flow._epoch = epoch
+                flow.rate = best_share
                 remaining -= 1
-                for li in flow_link_idx[fi]:
-                    left = residual[li] - best_share
-                    residual[li] = left if left > 0.0 else 0.0
-                    counts[li] -= 1
+                for link in flow.links:
+                    left = link._residual - best_share
+                    link._residual = left if left > 0.0 else 0.0
+                    link._count -= 1
 
         # -- next completion ------------------------------------------------------
         gen = self._generation
-        soonest = min(
-            (f.remaining / f.rate if f.rate > 0 else float("inf"))
-            for f in self._flows
-        )
-        if soonest == float("inf"):  # pragma: no cover - defensive
+        soonest = inf
+        for f in flows_dict:
+            rate = f.rate
+            if rate > 0:
+                eta = f.remaining / rate
+                if eta < soonest:
+                    soonest = eta
+        if soonest == inf:  # pragma: no cover - defensive
             return
         # Clamp below: a residual so small that now+soonest == now in
         # float would wake us at the same timestamp with zero progress,
@@ -203,7 +226,9 @@ class FlowNetwork:
         if generation != self._generation:
             return  # superseded
         self._advance()
-        finished = [f for f in self._flows if self._is_done(f)]
+        finished = [
+            f for f in self._flows if f.remaining <= 1e-6 + 1e-12 * f.nbytes
+        ]
         for flow in finished:
             del self._flows[flow]
             for link in flow.links:

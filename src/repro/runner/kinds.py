@@ -23,18 +23,14 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any, Callable, Dict, Tuple
 
+from ..api import assemble_cluster, assemble_job
 from ..core.chains import ChainRunner
 from ..core.experiment import JobRunner
 from ..core.online import OnlineController, OnlinePolicy
 from ..core.switch_cost import run_dd_once
-from ..hdfs.namenode import NameNode
 from ..iosched.anticipatory import AnticipatoryParams, AnticipatoryScheduler
-from ..mapreduce.jobtracker import MapReduceJob
 from ..obs import capture
 from ..mapreduce.phases import JobResult, PhaseTimes
-from ..net.topology import Topology
-from ..sim.core import Environment
-from ..virt.cluster import VirtualCluster
 from ..workloads.sysbench import SysbenchSeqWrite
 from .spec import RunSpec
 
@@ -52,7 +48,7 @@ KINDS: Dict[str, Callable[[Any, int], Dict[str, Any]]] = {}
 
 
 def register(name: str):
-    """Class a function as the executor for ``kind=name``."""
+    """Register a function as the executor for ``kind=name``."""
 
     def deco(fn):
         KINDS[name] = fn
@@ -199,9 +195,8 @@ def _run_chain(config, seed: int) -> Dict[str, Any]:
 def _run_sysbench(config, seed: int) -> Dict[str, Any]:
     """config = (ClusterConfig, total_bytes, n_files, vms_per_host)."""
     cluster_config, total_bytes, n_files, vms_per_host = config
-    env = Environment()
-    cluster = VirtualCluster(env, cluster_config.with_(seed=seed),
-                             trace=capture.current_bus())
+    env, cluster = assemble_cluster(cluster_config, seed=seed,
+                                    trace=capture.current_bus())
     bench = SysbenchSeqWrite(
         env,
         cluster,
@@ -233,14 +228,10 @@ def _run_dd(config, seed: int) -> Dict[str, Any]:
 def _run_instrumented_job(config, seed: int) -> Dict[str, Any]:
     """config = (ClusterConfig, JobConfig); exports throughput samples."""
     cluster_config, job_config = config
-    env = Environment()
-    trace = capture.current_bus()
-    cluster = VirtualCluster(env, cluster_config.with_(seed=seed), trace=trace)
-    topology = Topology(env)
-    namenode = NameNode(cluster, block_size=job_config.block_size)
-    job = MapReduceJob(env, cluster, topology, namenode, job_config,
-                       trace=trace)
-    proc = job.start()
+    parts = assemble_job(cluster_config, job_config, seed=seed,
+                         trace=capture.current_bus())
+    env, cluster = parts.env, parts.cluster
+    proc = parts.job.start()
     env.run(until=proc)
     duration = env.now
     host = cluster.hosts[0]
@@ -258,21 +249,16 @@ def _run_instrumented_job(config, seed: int) -> Dict[str, Any]:
 def _run_sort_custom(config, seed: int) -> Dict[str, Any]:
     """config = (ClusterConfig, JobConfig, zero_anticipation: bool)."""
     cluster_config, job_config, zero_anticipation = config
-    env = Environment()
-    trace = capture.current_bus()
-    cluster = VirtualCluster(env, cluster_config.with_(seed=seed), trace=trace)
+    parts = assemble_job(cluster_config, job_config, seed=seed,
+                         trace=capture.current_bus())
     if zero_anticipation:
         # Swap before any I/O exists; queues are empty so this is free.
-        for host in cluster.hosts:
+        for host in parts.cluster.hosts:
             host.disk.scheduler = AnticipatoryScheduler(
                 params=AnticipatoryParams(antic_expire=1e-9, max_think_time=0.0)
             )
-    topology = Topology(env)
-    namenode = NameNode(cluster, block_size=job_config.block_size)
-    job = MapReduceJob(env, cluster, topology, namenode, job_config,
-                       trace=trace)
-    proc = job.start()
-    env.run(until=proc)
+    proc = parts.job.start()
+    parts.env.run(until=proc)
     return {"duration": proc.value.duration}
 
 
@@ -280,15 +266,11 @@ def _run_sort_custom(config, seed: int) -> Dict[str, Any]:
 def _run_online_sort(config, seed: int) -> Dict[str, Any]:
     """config = (ClusterConfig, JobConfig); reactive controller attached."""
     cluster_config, job_config = config
-    env = Environment()
-    trace = capture.current_bus()
-    cluster = VirtualCluster(env, cluster_config.with_(seed=seed), trace=trace)
-    topology = Topology(env)
-    namenode = NameNode(cluster, block_size=job_config.block_size)
-    job = MapReduceJob(env, cluster, topology, namenode, job_config,
-                       trace=trace)
-    controller = OnlineController(env, cluster, OnlinePolicy())
-    proc = job.start()
+    parts = assemble_job(cluster_config, job_config, seed=seed,
+                         trace=capture.current_bus())
+    env = parts.env
+    controller = OnlineController(env, parts.cluster, OnlinePolicy())
+    proc = parts.job.start()
 
     def stopper():
         yield proc

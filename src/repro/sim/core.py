@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Generator, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Tuple
 
-from .events import NORMAL, Event, Timeout
+from .events import KEY_SHIFT, NORMAL, Event, Timeout
 from .process import Process
 
-__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .tracing import TraceBus
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "StopSimulation",
+    "start_event_census",
+    "finish_event_census",
+]
 
 
 class EmptySchedule(Exception):
@@ -19,18 +28,50 @@ class StopSimulation(Exception):
     """Raised internally to end :meth:`Environment.run` at an event."""
 
 
+#: When a census is active, every Environment constructed registers
+#: itself here so callers (the bench harness) can total the events
+#: processed across all environments a run created.
+_census: Optional[List["Environment"]] = None
+
+
+def start_event_census() -> None:
+    """Begin collecting environments for an event count (bench harness)."""
+    global _census
+    _census = []
+
+
+def finish_event_census() -> int:
+    """Stop the census; return total events processed by all collected
+    environments since their construction."""
+    global _census
+    envs, _census = _census, None
+    return sum(env.events_processed for env in envs or ())
+
+
 class Environment:
     """Execution environment for a discrete-event simulation.
 
     Time is a float in *seconds*.  Events scheduled for the same time
     are ordered by priority then insertion order, which makes runs fully
     deterministic.
+
+    ``trace`` optionally attaches a :class:`~repro.sim.tracing.TraceBus`
+    to the environment at construction, so components built on the same
+    environment can share one bus without post-hoc attribute attachment.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 trace: Optional["TraceBus"] = None):
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        #: Heap of ``(time, priority<<KEY_SHIFT | eid, event)`` entries.
+        self._queue: List[Tuple[float, int, Event]] = []
         self._eid = 0
+        #: Events processed (heap pops) over this environment's lifetime.
+        self.events_processed = 0
+        #: Optional TraceBus shared by components on this environment.
+        self.trace = trace
+        if _census is not None:
+            _census.append(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"<Environment t={self._now:.6f} pending={len(self._queue)}>"
@@ -58,8 +99,8 @@ class Environment:
         """Put ``event`` on the heap ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, (priority << KEY_SHIFT) | eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -68,19 +109,19 @@ class Environment:
     def step(self) -> None:
         """Process the next event on the heap."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+        self.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
 
-        if not event._ok and not event.defused:
-            exc = event._value
+        if not event._ok and not event._defused:
             # An unhandled failure crashes the simulation: nothing waited
             # on this event, so silently dropping it would hide bugs.
-            raise exc
+            raise event._value
 
     # -- run loop ------------------------------------------------------------
     def run(self, until: Any = None) -> Any:
@@ -108,11 +149,24 @@ class Environment:
                 stopper.callbacks.append(self._stop_at)
                 self.schedule(stopper, NORMAL, at - self._now)
 
+        # The hot loop: step() inlined so each event costs one heap pop
+        # and its callbacks, without a Python method call per event.
+        queue = self._queue
+        pop = heappop
+        events = self.events_processed
         try:
             while True:
-                self.step()
-        except StopSimulation as stop:
-            ended_event = stop.args[0]
+                try:
+                    self._now, _, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                events += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        except StopSimulation:
             if at_event is not None:
                 if not at_event.ok:
                     raise at_event.value
@@ -124,6 +178,8 @@ class Environment:
                     f"simulation ran out of events before {at_event!r} triggered"
                 ) from None
             return None
+        finally:
+            self.events_processed = events
 
     @staticmethod
     def _stop_at(event: Event) -> None:

@@ -14,6 +14,7 @@ conditions (``AllOf``/``AnyOf``) and process interruption.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -37,6 +38,13 @@ PENDING = object()
 #: normal events scheduled for the same timestamp.
 URGENT = 0
 NORMAL = 1
+
+#: Heap entries are ``(time, key, event)`` where ``key`` packs the
+#: priority above the insertion counter (eids stay far below 2**52), so
+#: ordering is (time, priority, eid) with one tuple element less to
+#: allocate and compare per scheduled event.
+KEY_SHIFT = 52
+NORMAL_KEY = NORMAL << KEY_SHIFT
 
 
 class Interrupt(Exception):
@@ -126,7 +134,9 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, NORMAL)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, NORMAL_KEY | eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -142,7 +152,9 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, NORMAL)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, NORMAL_KEY | eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -177,11 +189,17 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts are the kernel's hottest allocation: initialise the
+        # Event slots and push onto the heap directly instead of paying
+        # super().__init__ plus env.schedule per yield.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now + delay, NORMAL_KEY | eid, self))
 
     def _describe(self) -> str:
         return f"delay={self.delay}"
@@ -231,7 +249,7 @@ class Condition(Event):
         return {e: e._value for e in self._events if e.processed and e._ok}
 
     def _on_sub_event(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         if not event._ok:
             event.defuse()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from .events import PENDING, URGENT, Event, Interrupt, StopProcess
@@ -21,23 +22,36 @@ class Process(Event):
     :class:`~repro.sim.events.Interrupt` inside the generator.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_send", "_throw", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        # Event slots initialised inline (processes are created in bulk
+        # on the job hot path; skipping super().__init__ is measurable).
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
+        # Bound methods cached once: _resume runs for every yield in the
+        # simulation, so the attribute lookups add up.
+        self._send = generator.send
+        self._throw = generator.throw
         #: The event this process is currently waiting on (None when the
         #: process is being resumed or has finished).
         self._target: Optional[Event] = None
 
-        # Kick the process off with an immediately-processed event.
+        # Kick the process off with an immediately-processed event,
+        # pushed straight onto the heap (URGENT is 0, so the packed heap
+        # key is just the eid).
         init = Event(env)
         init._ok = True
         init._value = None
         init.callbacks.append(self._resume)
-        env.schedule(init, URGENT)
+        env._eid = eid = env._eid + 1
+        heappush(env._queue, (env._now, eid, init))
 
     def _describe(self) -> str:
         name = getattr(self._generator, "__name__", str(self._generator))
@@ -75,15 +89,16 @@ class Process(Event):
     # -- internal ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
         # A stale interrupt may arrive after the process has finished.
-        if not self.is_alive:
+        if self._value is not PENDING:
             return
 
         # Detach from the event we were waiting on (if resuming due to an
         # interrupt while a different event is still outstanding).
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target is not event:
+            if target.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume)
                 except ValueError:  # pragma: no cover - defensive
                     pass
 
@@ -91,12 +106,12 @@ class Process(Event):
         while True:
             try:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = self._send(event._value)
                 else:
                     # The exception was consumed by handing it to the
                     # process; mark it so the environment doesn't raise.
                     event.defuse()
-                    next_target = self._generator.throw(event._value)
+                    next_target = self._throw(event._value)
             except StopProcess as stop:
                 self.succeed(stop.value)
                 return

@@ -38,6 +38,11 @@ class TraceBus:
         #: Per-topic view of ``records`` so ``recorded(topic)`` does not
         #: rescan every record ever published.
         self._by_topic: DefaultDict[str, List[TraceRecord]] = defaultdict(list)
+        #: Memoised _should_record decisions, one per topic seen; reset
+        #: whenever record_topic() widens the recorded set.  This keeps
+        #: publish() on un-recorded topics a cheap dict probe instead of
+        #: a prefix scan per event.
+        self._keep_cache: Dict[str, bool] = {}
 
     def subscribe(self, topic: str, callback: Callable[[TraceRecord], None]) -> None:
         """Invoke ``callback`` for every record published on ``topic``.
@@ -83,6 +88,7 @@ class TraceBus:
                 self._recorded_prefixes.append(prefix)
         else:
             self._recorded_topics.add(topic)
+        self._keep_cache.clear()
 
     def _should_record(self, topic: str) -> bool:
         if self._record_all or topic in self._recorded_topics:
@@ -98,10 +104,22 @@ class TraceBus:
         self.records.clear()
         self._by_topic.clear()
 
+    def wants(self, topic: str) -> bool:
+        """True when publishing on ``topic`` would reach a recorder or
+        subscriber — lets hot call sites skip building the payload."""
+        if self._subscribers.get(topic):
+            return True
+        keep = self._keep_cache.get(topic)
+        if keep is None:
+            keep = self._keep_cache[topic] = self._should_record(topic)
+        return keep
+
     def publish(self, time: float, topic: str, **payload: Any) -> None:
         """Publish a record; cheap no-op when nobody listens."""
         subs = self._subscribers.get(topic)
-        keep = self._should_record(topic)
+        keep = self._keep_cache.get(topic)
+        if keep is None:
+            keep = self._keep_cache[topic] = self._should_record(topic)
         if not subs and not keep:
             return
         record = TraceRecord(time, topic, payload)

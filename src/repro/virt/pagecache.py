@@ -237,11 +237,12 @@ class PageCache:
         if length <= 0:
             return []
         window = self.params.write_request_bytes if op is IoOp.WRITE else self.params.read_request_bytes
+        window_sectors = window // SECTOR_SIZE
         events = []
         for lba, nsectors in file.ranges(off, length):
             pos = 0
             while pos < nsectors:
-                take = min(nsectors - pos, window // SECTOR_SIZE)
+                take = min(nsectors - pos, window_sectors)
                 req = BlockRequest(lba + pos, take, op, pid, sync=sync)
                 events.append(self.vdisk.submit(req))
                 if op is IoOp.WRITE:

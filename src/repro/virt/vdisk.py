@@ -82,7 +82,7 @@ class VirtualBlockDevice(ElevatorQueue):
                 f"{self.capacity_sectors}"
             )
         self._in_ring += 1
-        request.dispatch_time = self.env.now
+        request.dispatch_time = self.env._now
         physical = BlockRequest(
             lba=request.lba + self.lba_offset,
             nsectors=request.nsectors,
@@ -99,6 +99,6 @@ class VirtualBlockDevice(ElevatorQueue):
     def _await_backend(self, request: BlockRequest, done):
         yield done
         self._in_ring -= 1
-        request.complete_time = self.env.now
+        request.complete_time = self.env._now
         self.stats.on_complete(request, 0.0, 0.0, 0.0, 0.0)
         self._completed(request)

@@ -1,0 +1,200 @@
+"""The ``repro.api`` facade: defaults, determinism, and parity.
+
+The facade must be a veneer, not a fork: a ``Scenario`` lowers to the
+same :class:`RunSpec` (same cache key), and :func:`simulate` produces
+the same payload, as the hand-wired ``JobRunner``/``execute_spec``
+paths it replaces.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.api import (
+    DEFAULT_SCALE,
+    RunResult,
+    Scenario,
+    assemble_job,
+    scaled_cluster,
+    scaled_job,
+    scaled_testbed,
+    simulate,
+    sweep,
+)
+from repro.core.experiment import JobRunner
+from repro.core.solution import Solution
+from repro.runner.adapter import SweepJobRunner
+from repro.runner.kinds import encode_job_result, execute_spec, _reset_run_ids
+from repro.runner.spec import spec_key
+from repro.virt.pair import DEFAULT_PAIR, SchedulerPair
+from repro.workloads import SORT
+
+#: Small enough to simulate in well under a second.
+TINY = dict(workload="sort", scale=0.05, hosts=2, vms_per_host=2)
+
+
+def canon(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+# -- scenario defaults ----------------------------------------------------------------
+
+
+def test_scenario_defaults():
+    sc = Scenario()
+    assert sc.workload == "sort"
+    assert sc.job_spec is SORT
+    assert sc.scale == DEFAULT_SCALE
+    assert (sc.hosts, sc.vms_per_host, sc.n_phases) == (4, 4, 2)
+    assert sc.solution() == Solution.uniform(DEFAULT_PAIR, 2)
+    spec = sc.to_spec(seed=3)
+    assert spec.kind == "job" and spec.seed == 3
+    testbed, solution = spec.config
+    assert testbed.seeds == (3,)
+    assert solution == sc.solution()
+
+
+def test_scenario_accepts_strings_and_objects():
+    by_str = Scenario(workload="sort", pair="ad")
+    by_obj = Scenario(workload=SORT,
+                      pair=SchedulerPair("anticipatory", "deadline"))
+    assert by_str.job_spec is by_obj.job_spec
+    assert by_str.solution() == by_obj.solution()
+
+
+def test_scenario_plan_overrides_pair():
+    plan = Solution((DEFAULT_PAIR, SchedulerPair.parse("ad")))
+    sc = Scenario(pair="nn", plan=plan)
+    assert sc.solution() is plan
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        Scenario(scale=0.0)
+    with pytest.raises(ValueError):
+        Scenario(scale=1.5)
+    with pytest.raises(ValueError):
+        Scenario(plan=Solution.uniform(DEFAULT_PAIR, 3), n_phases=2)
+
+
+def test_scenario_with_():
+    sc = Scenario(**TINY)
+    assert sc.with_(pair="ad").pair == "ad"
+    assert sc.with_(pair="ad").scale == sc.scale
+
+
+# -- determinism and parity with the hand-wired paths ---------------------------------
+
+
+def test_simulate_is_seed_deterministic():
+    sc = Scenario(**TINY)
+    a = simulate(sc, seed=0)
+    b = simulate(sc, seed=0)
+    other = simulate(sc, seed=1)
+    assert canon(a.payload) == canon(b.payload)
+    assert canon(a.payload) != canon(other.payload)
+    assert a.events == b.events > 0
+    assert a.duration > 0 and a.wall_s > 0 and a.events_per_s > 0
+
+
+def test_simulate_matches_direct_jobrunner():
+    sc = Scenario(**TINY)
+    res = simulate(sc, seed=0)
+
+    _reset_run_ids()
+    runner = JobRunner(
+        scaled_testbed(SORT, scale=0.05, hosts=2, vms_per_host=2, seeds=(0,))
+    )
+    result, stall = runner.execute_once(Solution.uniform(DEFAULT_PAIR, 2), 0)
+    assert canon(res.payload) == canon(encode_job_result(result, stall))
+    assert res.switch_stall == stall
+    assert res.duration == result.duration
+
+
+def test_sweep_parity_with_execute_spec(tmp_path):
+    sc = Scenario(**TINY)
+    expected = json.loads(canon(execute_spec(sc.to_spec(0))))
+
+    [payloads] = sweep(sc, seeds=(0,), jobs=1, use_cache=True,
+                       cache_dir=str(tmp_path / "cache"))
+    assert canon(payloads[0]) == canon(expected)
+    # Replay from the on-disk cache: still identical.
+    [replayed] = sweep(sc, seeds=(0,), jobs=1, use_cache=True,
+                       cache_dir=str(tmp_path / "cache"))
+    assert canon(replayed[0]) == canon(expected)
+
+
+def test_scenario_spec_key_matches_experiment_suite():
+    # Same configuration => same content-addressed cache key as the
+    # specs the experiment suite has always built.
+    sc = Scenario(**TINY)
+    testbed = scaled_testbed(SORT, scale=0.05, hosts=2, vms_per_host=2,
+                             seeds=(0,))
+    suite_spec = SweepJobRunner(testbed, sweep=object()).specs_for(
+        Solution.uniform(DEFAULT_PAIR, 2)
+    )[0]
+    assert spec_key(sc.to_spec(0)) == spec_key(suite_spec)
+
+
+def test_faulty_scenario_lowers_to_faulty_job_kind():
+    from repro.faults import NO_FAULTS
+
+    sc = Scenario(**TINY, faults=NO_FAULTS)
+    spec = sc.to_spec(0)
+    assert spec.kind == "faulty_job"
+    assert spec.config[2] is NO_FAULTS
+    res = simulate(sc, seed=0)
+    assert res.payload["faults"] == {}
+
+
+def test_sweep_rejects_runner_kwargs_with_runner():
+    with pytest.raises(TypeError):
+        sweep(Scenario(**TINY), runner=object(), jobs=2)
+
+
+# -- assembly helpers -----------------------------------------------------------------
+
+
+def test_assemble_job_wires_the_full_stack():
+    parts = assemble_job(
+        scaled_cluster(0.05, hosts=1, vms_per_host=2),
+        scaled_job(SORT, 0.05),
+        seed=7,
+    )
+    assert parts.cluster.env is parts.env
+    assert parts.job.cluster is parts.cluster
+    assert parts.namenode.cluster is parts.cluster
+    assert parts.job.namenode is parts.namenode
+    assert parts.env.trace is None
+    # The cluster was re-seeded.
+    assert parts.cluster.config.seed == 7
+
+
+# -- the deprecated module ------------------------------------------------------------
+
+
+def test_experiments_common_shim_warns():
+    import repro.api as api
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        from repro.experiments.common import scaled_testbed as shimmed
+    assert shimmed is api.scaled_testbed
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+
+def test_experiments_common_shim_unknown_name():
+    import repro.experiments.common as common
+
+    with pytest.raises(AttributeError):
+        common.not_a_real_name
+
+
+def test_package_root_exports_the_facade():
+    import repro
+
+    assert repro.Scenario is Scenario
+    assert repro.simulate is simulate
+    assert repro.sweep is sweep
+    assert repro.RunResult is RunResult

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cli import build_parser, main, run_one
 from repro.experiments.base import ExperimentResult
-from repro.experiments.common import default_seeds, validate_scale
+from repro.api import default_seeds, validate_scale
 from repro.runner import SweepRunner
 
 

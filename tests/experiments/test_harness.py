@@ -110,16 +110,16 @@ def test_scaled_testbed_scales_sizes_linearly():
 def test_env_scale_validation(monkeypatch):
     import importlib
 
-    import repro.experiments.common as common
+    import repro.api as api
 
     monkeypatch.setenv("REPRO_SCALE", "2.0")
     with pytest.raises(ValueError):
-        importlib.reload(common)
+        importlib.reload(api)
     monkeypatch.setenv("REPRO_SCALE", "abc")
     with pytest.raises(ValueError):
-        importlib.reload(common)
+        importlib.reload(api)
     monkeypatch.setenv("REPRO_SCALE", "0.5")
-    importlib.reload(common)
-    assert common.DEFAULT_SCALE == 0.5
+    importlib.reload(api)
+    assert api.DEFAULT_SCALE == 0.5
     monkeypatch.delenv("REPRO_SCALE")
-    importlib.reload(common)
+    importlib.reload(api)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.experiment import JobRunner
 from repro.core.solution import Solution
-from repro.experiments.common import scaled_testbed
+from repro.api import scaled_testbed
 from repro.faults import NO_FAULTS, DiskFaults, FaultPlan, VmFaults, get_preset
 from repro.sim import Environment
 from repro.sim.cpu import ProcessorSharingCPU

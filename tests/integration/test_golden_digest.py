@@ -16,7 +16,7 @@ import hashlib
 import json
 
 from repro.core.solution import Solution
-from repro.experiments.common import scaled_testbed
+from repro.api import scaled_testbed
 from repro.faults import NO_FAULTS
 from repro.runner import RunSpec, SweepRunner
 from repro.virt.pair import DEFAULT_PAIR

@@ -8,7 +8,7 @@ produce them against regressions without slowing the unit suite much.
 import pytest
 
 from repro.core import JobRunner
-from repro.experiments.common import scaled_testbed
+from repro.api import scaled_testbed
 from repro.virt import SchedulerPair
 from repro.workloads import SORT
 

@@ -20,7 +20,7 @@ import pytest
 
 from repro.core.experiment import JobRunner
 from repro.core.solution import Solution
-from repro.experiments.common import scaled_testbed
+from repro.api import scaled_testbed
 from repro.faults import (
     DiskFaults,
     FaultPlan,

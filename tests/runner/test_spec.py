@@ -4,7 +4,7 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.experiments.common import scaled_testbed
+from repro.api import scaled_testbed
 from repro.runner import RunSpec, canonical, spec_key
 from repro.workloads.profiles import SORT
 

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.core.experiment import JobRunner
-from repro.experiments.common import scaled_cluster, scaled_testbed
+from repro.api import scaled_cluster, scaled_testbed
 from repro.runner import (
     ResultCache,
     RunSpec,
