@@ -1,0 +1,46 @@
+"""repro.analysis — static enforcement of the reproducibility contract.
+
+Everything this reproduction claims rests on seed-deterministic,
+bit-identical payloads.  The golden digests and property tests catch a
+determinism hazard only when some run happens to exercise it; this
+package catches the hazard at the source line, in CI, before it ships.
+
+An AST-based linter (stdlib :mod:`ast` only) with six rules:
+
+======== ==============================================================
+DET001   no wall-clock reads inside simulation-path packages
+DET002   all randomness routes through ``repro.sim.rng``
+DET003   sim-path iteration over set/frozenset/``.keys()`` results
+         must be wrapped in ``sorted(...)``
+TRACE001 string-literal trace topics must be registered in
+         ``repro.obs.topics``; registered topics must be published
+CACHE001 cache-key construction (``spec_key``/``canonical``/
+         ``Scenario.to_spec``) must not read os.environ, the wall
+         clock, or mutated module-level state
+API001   no attribute assignment to frozen/slotted dataclasses
+         outside their defining module
+======== ==============================================================
+
+Run it as ``repro lint`` or ``python -m repro.analysis``.  Silence an
+intentional exception with an inline comment carrying a justification::
+
+    self.rng = rng  # repro-lint: disable=DET002 calibrated fixture
+
+See DESIGN.md "Static analysis & the determinism contract".
+"""
+
+from .core import RULES, Finding, Rule, register_rule, rule_ids, run_lint
+from .cli import main
+from .reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "main",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "run_lint",
+]

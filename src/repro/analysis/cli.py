@@ -1,0 +1,143 @@
+"""``repro lint`` — the determinism & invariant linter's entry point.
+
+Usage::
+
+    repro lint                       # lint src/repro (auto-detected)
+    repro lint src/repro tests       # explicit roots
+    repro lint --format json --out lint-report.json
+    repro lint --select DET001,DET002
+    repro lint --list-rules
+
+Exit codes follow the CLI convention used across ``repro``:
+
+* ``0`` — scan ran and found nothing;
+* ``1`` — scan ran and produced findings;
+* ``2`` — usage error (unknown rule id, missing path, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import RULES, run_lint
+from .reporters import render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_rule_list(raw: str) -> List[str]:
+    rules = [r.strip() for r in raw.split(",") if r.strip()]
+    if not rules:
+        raise argparse.ArgumentTypeError(
+            f"rule list {raw!r} is empty; give rule ids like DET001,DET002"
+        )
+    return rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically enforce the simulator's reproducibility "
+        "contract (see DESIGN.md 'Static analysis').",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: ./src/repro, "
+        "./repro, or . — first that exists)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the report to FILE",
+    )
+    parser.add_argument(
+        "--select",
+        type=_parse_rule_list,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_parse_rule_list,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def default_paths() -> List[Path]:
+    for candidate in (Path("src/repro"), Path("repro")):
+        if candidate.is_dir():
+            return [candidate]
+    return [Path(".")]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    # Registers the rules (core only holds the empty registry).
+    from . import rules as _rules  # noqa: F401
+
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; keep both
+        # but return instead of raising so embedding callers get an int.
+        return int(exc.code or 0)
+
+    if args.list_rules:
+        for rule_id, rule in RULES.items():
+            print(f"{rule_id}: {rule.summary}")
+        return 0
+
+    for listed in (args.select or []), (args.ignore or []):
+        for rule_id in listed:
+            if rule_id not in RULES:
+                print(
+                    f"repro lint: error: unknown rule {rule_id!r} "
+                    f"(known: {', '.join(RULES)})",
+                    file=sys.stderr,
+                )
+                return 2
+
+    paths = [Path(p) for p in args.paths] if args.paths else default_paths()
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro lint: error: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings, files_scanned = run_lint(
+        paths, select=args.select, ignore=args.ignore
+    )
+    if args.format == "json":
+        report = render_json(findings, files_scanned)
+    else:
+        report = render_text(findings, files_scanned)
+    print(report)
+    if args.out:
+        Path(args.out).write_text(report + "\n", encoding="utf-8")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

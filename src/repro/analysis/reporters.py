@@ -1,0 +1,46 @@
+"""Renderers for lint results: human-readable text and stable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .core import RULES, Finding
+
+__all__ = ["render_text", "render_json", "counts_by_rule"]
+
+#: Schema version of the JSON report (bump on breaking shape changes).
+REPORT_SCHEMA = 1
+
+
+def counts_by_rule(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(findings: Sequence[Finding], files_scanned: int) -> str:
+    """One ``path:line:col: RULE message`` line per finding + a summary."""
+    lines: List[str] = [f.render() for f in findings]
+    if findings:
+        per_rule = ", ".join(f"{rule} x{n}" for rule, n in
+                             counts_by_rule(findings).items())
+        lines.append(f"{len(findings)} finding(s) in {files_scanned} "
+                     f"file(s): {per_rule}")
+    else:
+        lines.append(f"clean: 0 findings in {files_scanned} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_scanned: int) -> str:
+    """Deterministic JSON document (sorted findings, sorted keys)."""
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "files_scanned": files_scanned,
+        "rules": {rule_id: rule.summary for rule_id, rule in RULES.items()},
+        "counts": counts_by_rule(findings),
+        "findings": [f.to_json() for f in findings],
+        "clean": not findings,
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)

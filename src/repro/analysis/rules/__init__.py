@@ -1,0 +1,17 @@
+"""Rule modules; importing this package registers every rule.
+
+Grouped by the contract they guard:
+
+* :mod:`.determinism` — DET001 (no wall clock in the simulation path),
+  DET002 (all randomness routes through ``repro.sim.rng``), DET003 (no
+  iteration over unordered collections in the simulation path);
+* :mod:`.trace_topics` — TRACE001 (publish sites vs the topic registry);
+* :mod:`.cache_purity` — CACHE001 (cache-key construction reads no
+  ambient state);
+* :mod:`.frozen_api` — API001 (no attribute assignment to frozen or
+  slotted dataclasses outside their defining module).
+"""
+
+from . import cache_purity, determinism, frozen_api, trace_topics  # noqa: F401
+
+__all__ = ["cache_purity", "determinism", "frozen_api", "trace_topics"]

@@ -1,0 +1,253 @@
+"""CACHE001: cache-key construction must be a pure function of the spec.
+
+The sweep cache's whole guarantee — two specs with equal keys produce
+bit-identical payloads — collapses if key construction reads anything
+besides the spec: an environment variable, the host clock, or mutable
+module state would make the "same" key mean different runs on
+different hosts.  This rule builds a conservative project call graph
+from the key-construction entry points (``spec_key`` / ``canonical`` /
+``Scenario.to_spec``) and flags ambient reads anywhere reachable.
+
+Reachability is static and name-based (no execution): calls resolve to
+same-module functions, imported project functions, ``self.`` methods
+and properties of the enclosing class, ``Class.method`` references,
+and project class constructors (``__init__`` / ``__post_init__``); an
+unresolvable call falls back to every project function of that name.
+Over-approximation is deliberate — a false edge only widens the purity
+requirement, never hides a read.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, ImportMap, ModuleInfo, Project, Rule, register_rule
+from .determinism import WALL_CLOCK_CALLS
+
+__all__ = ["CacheKeyPurityRule", "ENTRY_POINT_NAMES"]
+
+#: Function (or method) simple names that construct cache keys.  Names,
+#: not module paths, so fixture trees can exercise the rule without
+#: replicating the repo layout.
+ENTRY_POINT_NAMES = frozenset({"spec_key", "canonical", "to_spec"})
+
+#: Method calls that mutate the receiver in place.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft", "extendleft",
+})
+
+
+@dataclass
+class FuncInfo:
+    """One function/method definition in the scanned tree."""
+
+    module: ModuleInfo
+    qualname: str          # "f" or "Class.f"
+    cls: Optional[str]     # enclosing class name, if a method
+    node: ast.AST          # FunctionDef / AsyncFunctionDef
+    calls: List[Tuple[str, ast.expr]] = field(default_factory=list)
+
+
+def _mutated_globals(module: ModuleInfo) -> Set[str]:
+    """Module-level names some function in the module mutates."""
+    top_level: Set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    top_level.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            top_level.add(node.target.id)
+    mutated: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Global):
+            mutated.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and \
+                        isinstance(target.value, ast.Name):
+                    mutated.add(target.value.id)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATORS and \
+                isinstance(node.func.value, ast.Name):
+            mutated.add(node.func.value.id)
+    return mutated & top_level
+
+
+class _Index:
+    """Project-wide function index + call edges."""
+
+    def __init__(self, project: Project):
+        self.functions: Dict[Tuple[str, str], FuncInfo] = {}
+        self.by_name: Dict[str, List[FuncInfo]] = {}
+        self.imports: Dict[str, ImportMap] = {}
+        for module in project.modules:
+            self.imports[module.name] = ImportMap(module)
+            self._index_module(module)
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        def add(node, cls: Optional[str]):
+            qual = f"{cls}.{node.name}" if cls else node.name
+            info = FuncInfo(module=module, qualname=qual, cls=cls, node=node)
+            self.functions[(module.name, qual)] = info
+            self.by_name.setdefault(node.name, []).append(info)
+
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add(node, None)
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        add(sub, node.name)
+
+    # -- edge resolution ------------------------------------------------------
+    def callees(self, info: FuncInfo) -> List["FuncInfo"]:
+        module = info.module
+        imports = self.imports[module.name]
+        out: List[FuncInfo] = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                out.extend(self._resolve_call(node, info, imports))
+            elif isinstance(node, ast.Attribute) and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id == "self" and info.cls is not None:
+                # self.x loads cover @property accessors.
+                found = self.functions.get(
+                    (module.name, f"{info.cls}.{node.attr}"))
+                if found is not None:
+                    out.append(found)
+        return out
+
+    def _resolve_call(self, call: ast.Call, caller: FuncInfo,
+                      imports: ImportMap) -> List["FuncInfo"]:
+        func = call.func
+        module = caller.module
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Same module first: plain function or class constructor.
+            found = self.functions.get((module.name, name))
+            if found is not None:
+                return [found]
+            ctor = self._constructors(module.name, name)
+            if ctor:
+                return ctor
+            resolved = imports.resolve(func)
+            if resolved is not None:
+                return self._resolve_dotted(resolved, name)
+            return list(self.by_name.get(name, []))
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if isinstance(func.value, ast.Name):
+                base = func.value.id
+                if base == "self" and caller.cls is not None:
+                    found = self.functions.get(
+                        (module.name, f"{caller.cls}.{attr}"))
+                    return [found] if found is not None else []
+                # Class.method in the same module.
+                found = self.functions.get((module.name, f"{base}.{attr}"))
+                if found is not None:
+                    return [found]
+                resolved = imports.resolve(func)
+                if resolved is not None:
+                    return self._resolve_dotted(resolved, attr)
+            # obj.method(): fall back to name matching on project methods.
+            return [f for f in self.by_name.get(attr, []) if f.cls is not None]
+        return []
+
+    def _constructors(self, module_name: str, cls: str) -> List["FuncInfo"]:
+        out = []
+        for method in ("__init__", "__post_init__"):
+            found = self.functions.get((module_name, f"{cls}.{method}"))
+            if found is not None:
+                out.append(found)
+        return out
+
+    def _resolve_dotted(self, resolved: str, simple: str) -> List["FuncInfo"]:
+        """Map an absolute dotted path to project functions."""
+        parts = resolved.split(".")
+        # module.func  /  module.Class (constructor)  /  module.Class.method
+        for split in range(len(parts) - 1, 0, -1):
+            module_name = ".".join(parts[:split])
+            qual = ".".join(parts[split:])
+            found = self.functions.get((module_name, qual))
+            if found is not None:
+                return [found]
+            ctor = self._constructors(module_name, qual)
+            if ctor:
+                return ctor
+        # Re-exported through a package __init__: match by simple name.
+        return list(self.by_name.get(simple, []))
+
+
+@register_rule
+class CacheKeyPurityRule(Rule):
+    """Ambient reads reachable from cache-key construction."""
+
+    id = "CACHE001"
+    summary = ("functions reachable from spec_key/canonical/"
+               "Scenario.to_spec must not read os.environ, the wall "
+               "clock, or mutated module-level state")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        index = _Index(project)
+        entries = [info for (_, qual), info in index.functions.items()
+                   if qual.split(".")[-1] in ENTRY_POINT_NAMES
+                   and info.module.parts and info.module.parts[0] == "repro"]
+        if not entries:
+            return
+        reachable: Set[int] = set()
+        order: List[FuncInfo] = []
+        stack = list(entries)
+        while stack:
+            info = stack.pop()
+            if id(info) in reachable:
+                continue
+            reachable.add(id(info))
+            order.append(info)
+            stack.extend(index.callees(info))
+        mutated_cache: Dict[str, Set[str]] = {}
+        for info in sorted(order, key=lambda f: (f.module.rel, f.node.lineno)):
+            yield from self._check_function(info, index, mutated_cache)
+
+    def _check_function(self, info: FuncInfo, index: _Index,
+                        mutated_cache: Dict[str, Set[str]]) -> Iterator[Finding]:
+        module = info.module
+        imports = index.imports[module.name]
+        mutated = mutated_cache.get(module.name)
+        if mutated is None:
+            mutated = mutated_cache[module.name] = _mutated_globals(module)
+        where = f"{info.qualname} (reachable from cache-key construction)"
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                resolved = imports.resolve(node.func)
+                if resolved in WALL_CLOCK_CALLS:
+                    yield Finding(
+                        rule=self.id, path=module.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message=f"wall-clock read {resolved}() in {where}",
+                    )
+                elif resolved == "os.getenv":
+                    yield Finding(
+                        rule=self.id, path=module.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message=f"os.getenv() read in {where}",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if imports.resolve(node) == "os.environ":
+                    yield Finding(
+                        rule=self.id, path=module.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message=f"os.environ read in {where}",
+                    )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                    and node.id in mutated:
+                yield Finding(
+                    rule=self.id, path=module.rel,
+                    line=node.lineno, col=node.col_offset,
+                    message=(f"read of mutable module-level state "
+                             f"{node.id!r} in {where}"),
+                )

@@ -8,6 +8,7 @@ Usage::
     python -m repro fig8 --seeds 0 --trace-out traces/
     python -m repro report traces/ --chrome-out traces/job.chrome.json
     python -m repro bench --quick
+    python -m repro lint --format json
 
 Each experiment prints the table/series of its paper artifact plus its
 PASS/FAIL shape checks.  Simulations fan out over ``--jobs`` worker
@@ -22,6 +23,11 @@ timeline — and can re-export them as a Chrome/Perfetto trace.
 
 ``repro bench`` times the canonical scenarios against their golden
 payload digests and writes ``BENCH_<rev>.json`` (see :mod:`repro.bench`).
+
+``repro lint`` statically checks the source tree against the
+reproducibility contract — no wall clock or stray RNG in the simulation
+path, trace topics registered, cache keys pure (see
+:mod:`repro.analysis`).  Exit codes: 0 clean, 1 findings, 2 usage error.
 """
 
 from __future__ import annotations
@@ -259,6 +265,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 

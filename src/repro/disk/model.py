@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..sim.rng import fallback_rng
 from .geometry import DiskGeometry
 from .request import BlockRequest, IoOp
 
@@ -80,7 +81,7 @@ class ServiceTimeModel:
 
     def __post_init__(self) -> None:
         if self.rng is None:
-            self.rng = np.random.default_rng(0)
+            self.rng = fallback_rng()
         # Rotational-latency draws, fetched from the Generator in batches.
         # A batched ``uniform(lo, hi, n)`` yields the bit-identical
         # sequence the same Generator would produce via n single draws,

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
+from ..sim.rng import fallback_rng
 from .blocks import DEFAULT_BLOCK_SIZE, DEFAULT_REPLICATION, HdfsBlock, HdfsFile
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -39,7 +40,7 @@ class NameNode:
         self.cluster = cluster
         self.block_size = block_size
         self.replication = min(replication, len(cluster.vms))
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng or fallback_rng()
         self._files: Dict[str, HdfsFile] = {}
 
     # -- namespace ---------------------------------------------------------------

@@ -11,7 +11,9 @@ Four concerns, one package:
 * :mod:`repro.obs.capture` — the per-run capture switch the CLI's
   ``--trace-out`` flips, propagated to worker processes via the
   environment;
-* :mod:`repro.obs.report` — the ``repro report`` renderer.
+* :mod:`repro.obs.report` — the ``repro report`` renderer;
+* :mod:`repro.obs.topics` — the machine-readable trace-topic registry
+  (the single source of truth ``repro lint``'s TRACE001 rule enforces).
 
 Everything is off by default and payload-neutral: enabling capture
 never changes simulation results, cache keys, or cached records.
@@ -36,6 +38,7 @@ from .metrics import (
 )
 from .profile import BatchProfile, SweepProfiler
 from .report import render_report, report_path
+from .topics import REGISTERED_TOPICS, TOPIC_NAMES, TOPICS, TopicSpec
 
 __all__ = [
     "BatchProfile",
@@ -45,9 +48,13 @@ __all__ = [
     "Histogram",
     "JsonlTraceWriter",
     "MetricsRegistry",
+    "REGISTERED_TOPICS",
     "RunCapture",
     "SweepProfiler",
+    "TOPICS",
+    "TOPIC_NAMES",
     "TopicFilter",
+    "TopicSpec",
     "TraceMetrics",
     "config_from_env",
     "current_bus",

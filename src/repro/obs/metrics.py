@@ -15,6 +15,7 @@ from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..sim.tracing import TraceBus, TraceRecord
+from .topics import TOPIC_NAMES
 
 __all__ = [
     "Counter",
@@ -198,30 +199,10 @@ class TraceMetrics:
         tm.replay(records)
     """
 
-    #: Topics this bridge understands (exact names; disk/fs topics carry
-    #: per-device/per-VM labels in their payloads).
-    TOPICS = (
-        "disk.submit",
-        "disk.complete",
-        "disk.service",
-        "disk.switched",
-        "fs.read",
-        "fs.write",
-        "cluster.set_pair",
-        "job.start",
-        "job.map_finished",
-        "job.maps_done",
-        "job.shuffle_done",
-        "job.reduce_finished",
-        "job.done",
-        "task.retry",
-        "task.speculative",
-        "fault.disk_slow",
-        "fault.disk_recover",
-        "fault.vm_pause",
-        "fault.vm_resume",
-        "fault.vm_crash",
-    )
+    #: Topics this bridge understands: the full registry from
+    #: :mod:`repro.obs.topics` (disk/fs topics carry per-device/per-VM
+    #: labels in their payloads).
+    TOPICS = TOPIC_NAMES
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
         self.registry = registry or MetricsRegistry()

@@ -1,0 +1,95 @@
+"""The machine-readable registry of every trace topic the simulator emits.
+
+Single source of truth for the repo's topic taxonomy: the metrics
+bridge (:class:`repro.obs.metrics.TraceMetrics`) subscribes to exactly
+these names, ``repro lint``'s TRACE001 rule checks every
+``TraceBus.publish``/``record_topic`` string literal against this set
+(and flags registry entries nobody publishes as dead), and DESIGN.md's
+"Observability" section documents the same list.
+
+Adding a topic is a two-step change: publish it from the simulation and
+add a :class:`TopicSpec` here (the linter fails the build if either
+half is missing).  :mod:`repro.sim.tracing` deliberately does *not*
+import this module at runtime — the bus stays policy-free and the
+sim layer stays below obs — enforcement is static, via the linter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "TopicSpec",
+    "TOPICS",
+    "TOPIC_NAMES",
+    "REGISTERED_TOPICS",
+    "is_registered",
+    "matching",
+]
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """One registered trace topic."""
+
+    #: Exact topic name as passed to ``TraceBus.publish``.
+    name: str
+    #: What one record on this topic means.
+    doc: str
+
+
+TOPICS: Tuple[TopicSpec, ...] = (
+    # -- disk layer (per-device; payloads carry a ``device`` label) -----------
+    TopicSpec("disk.submit", "request accepted into a device queue"),
+    TopicSpec("disk.complete", "request (plus any merged rids) left the device"),
+    TopicSpec("disk.service", "per-request seek/rotation/transfer time split"),
+    TopicSpec("disk.switched", "elevator switch finished on a device (stall seconds)"),
+    # -- guest filesystem (per-VM) --------------------------------------------
+    TopicSpec("fs.read", "guest filesystem read completed"),
+    TopicSpec("fs.write", "guest filesystem write completed"),
+    # -- cluster / scheduler control ------------------------------------------
+    TopicSpec("cluster.set_pair", "cluster applied a (VMM, VM) scheduler pair"),
+    # -- MapReduce job lifecycle ----------------------------------------------
+    TopicSpec("job.start", "job accepted; simulated clock at submission"),
+    TopicSpec("job.map_finished", "one map task finished (done/total in payload)"),
+    TopicSpec("job.maps_done", "last map task finished"),
+    TopicSpec("job.shuffle_done", "last shuffle fetch finished (retrospective)"),
+    TopicSpec("job.reduce_finished", "one reduce task finished"),
+    TopicSpec("job.done", "job completed; simulated clock at completion"),
+    # -- recovery / speculation -----------------------------------------------
+    TopicSpec("task.retry", "failed attempt re-queued (kind in payload)"),
+    TopicSpec("task.speculative", "speculative backup attempt launched"),
+    # -- fault injection ------------------------------------------------------
+    TopicSpec("fault.disk_slow", "disk slow-down fault began on a host"),
+    TopicSpec("fault.disk_recover", "disk slow-down fault ended"),
+    TopicSpec("fault.vm_pause", "VM administratively paused"),
+    TopicSpec("fault.vm_resume", "paused VM resumed"),
+    TopicSpec("fault.vm_crash", "VM crashed (permanently, for the run)"),
+)
+
+#: Topic names in registry order (what ``TraceMetrics`` subscribes to).
+TOPIC_NAMES: Tuple[str, ...] = tuple(spec.name for spec in TOPICS)
+
+#: The set form, for membership tests.
+REGISTERED_TOPICS = frozenset(TOPIC_NAMES)
+
+
+def is_registered(topic: str) -> bool:
+    """True when ``topic`` is an exact registered topic name."""
+    return topic in REGISTERED_TOPICS
+
+
+def matching(pattern: str) -> Tuple[str, ...]:
+    """Registered topics matched by ``pattern``, in registry order.
+
+    Mirrors ``TraceBus.record_topic`` semantics: ``"*"`` matches every
+    topic, ``"family.*"`` matches the family prefix, anything else is
+    an exact name.
+    """
+    if pattern == "*":
+        return TOPIC_NAMES
+    if pattern.endswith(".*"):
+        prefix = pattern[:-1]  # keep the dot: "disk.*" -> "disk."
+        return tuple(name for name in TOPIC_NAMES if name.startswith(prefix))
+    return tuple(name for name in TOPIC_NAMES if name == pattern)

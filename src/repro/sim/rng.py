@@ -14,7 +14,21 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RngStreams"]
+__all__ = ["RngStreams", "fallback_rng"]
+
+
+def fallback_rng() -> np.random.Generator:
+    """The fixed-seed generator components default to when none is wired.
+
+    Several components accept an optional ``rng`` and historically fell
+    back to ``np.random.default_rng(0)`` inline.  Centralising that
+    fallback here keeps every generator construction inside this module
+    (the DET002 lint contract) while producing the bit-identical stream
+    the inline literal did.  Real runs always inject per-component
+    streams from :class:`RngStreams`; the fallback only feeds unit
+    tests that build components stand-alone.
+    """
+    return np.random.default_rng(0)
 
 
 class RngStreams:

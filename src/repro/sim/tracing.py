@@ -5,15 +5,31 @@ to build CDFs and timelines without the simulated components knowing
 about the instrumentation.  The observability layer (:mod:`repro.obs`)
 records whole topic families with ``record_topic("disk.*")`` or
 ``record_topic("*")`` and exports the records after the run.
+
+The canonical list of topics the simulator publishes lives in
+:mod:`repro.obs.topics` (the registry ``repro lint``'s TRACE001 rule
+enforces); :func:`known_topics` returns it without making this module —
+which sits *below* the obs layer — depend on obs at import time.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable, DefaultDict, Dict, List, Tuple
+from typing import Any, Callable, DefaultDict, Dict, FrozenSet, List, Tuple
 
-__all__ = ["TraceBus", "TraceRecord", "IntervalSampler"]
+__all__ = ["TraceBus", "TraceRecord", "IntervalSampler", "known_topics"]
+
+
+def known_topics() -> FrozenSet[str]:
+    """Every registered topic name, from :mod:`repro.obs.topics`.
+
+    Imported lazily: obs depends on this module, so the reverse edge
+    must not run at import time.
+    """
+    from ..obs.topics import REGISTERED_TOPICS
+
+    return REGISTERED_TOPICS
 
 
 @dataclass(frozen=True)

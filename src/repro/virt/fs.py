@@ -15,6 +15,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..disk.request import SECTOR_SIZE
+from ..sim.rng import fallback_rng
 
 __all__ = ["Extent", "GuestFile", "GuestFilesystem"]
 
@@ -99,7 +100,7 @@ class GuestFilesystem:
             raise ValueError("fragmentation must be in [0, 1)")
         self.total_sectors = total_sectors
         self.fragmentation = fragmentation
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng or fallback_rng()
         self._next_free = reserved_sectors
         self._files: Dict[str, GuestFile] = {}
 

@@ -12,6 +12,7 @@ from ..disk.model import DiskParameters, ServiceTimeModel
 from ..iosched.base import IOScheduler
 from ..iosched.registry import scheduler_factory
 from ..sim.events import AllOf, Event
+from ..sim.rng import fallback_rng
 from .pair import SchedulerPair
 from .vm import VM
 
@@ -51,7 +52,7 @@ class PhysicalHost:
         model = ServiceTimeModel(
             geometry=self.geometry,
             params=disk_params or DiskParameters(),
-            rng=rng or np.random.default_rng(0),
+            rng=rng or fallback_rng(),
         )
         self.disk = DiskDevice(
             env,

@@ -10,6 +10,7 @@ from ..disk.device import DiskDevice
 from ..iosched.base import IOScheduler
 from ..sim.cpu import CPUJob, ProcessorSharingCPU
 from ..sim.events import Event
+from ..sim.rng import fallback_rng
 from .fs import GuestFile, GuestFilesystem
 from .pagecache import PageCache, PageCacheParams
 from .vdisk import DEFAULT_RING_SLOTS, VirtualBlockDevice
@@ -66,7 +67,7 @@ class VM:
         self.fs = GuestFilesystem(
             image_sectors,
             fragmentation=fs_fragmentation,
-            rng=rng or np.random.default_rng(0),
+            rng=rng or fallback_rng(),
         )
         self.cache = PageCache(
             env, self.vdisk, pagecache_params, name=f"pc@{vm_id}"

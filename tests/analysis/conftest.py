@@ -1,0 +1,34 @@
+"""Fixture helpers: build throwaway mini-project trees to lint."""
+
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+
+def make_tree(root: Path, files: Dict[str, str]) -> Path:
+    """Write ``files`` (relative path -> source) under ``root``.
+
+    Every ancestor directory gets an ``__init__.py`` so the linter's
+    package detection sees real dotted module names.  Returns the tree
+    root to pass to ``run_lint``.
+    """
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        ancestor = path.parent
+        while ancestor != root and not (ancestor / "__init__.py").exists():
+            (ancestor / "__init__.py").write_text("")
+            ancestor = ancestor.parent
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """Partial application of :func:`make_tree` on this test's tmp dir."""
+
+    def build(files: Dict[str, str]) -> Path:
+        return make_tree(tmp_path, files)
+
+    return build

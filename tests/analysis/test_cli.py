@@ -1,0 +1,95 @@
+"""``repro lint`` CLI: exit codes, formats, dispatch, self-check."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as repro_main
+
+REPO_SRC = Path(repro.__file__).resolve().parent
+
+CLEAN = "def f(env):\n    return env.now\n"
+DIRTY = "import time\n\ndef f():\n    return time.time()\n"
+
+
+def test_exit_0_on_clean_tree(tree, capsys):
+    root = tree({"repro/sim/ok.py": CLEAN})
+    assert lint_main([str(root / "repro")]) == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_exit_1_on_findings(tree, capsys):
+    root = tree({"repro/sim/bad.py": DIRTY})
+    assert lint_main([str(root / "repro")]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "finding(s)" in out
+
+
+def test_exit_2_on_unknown_rule(tree, capsys):
+    root = tree({"repro/sim/ok.py": CLEAN})
+    assert lint_main([str(root / "repro"), "--select", "NOPE999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_exit_2_on_missing_path(capsys):
+    assert lint_main(["/nonexistent/lint/target"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_exit_2_on_bad_flag(capsys):
+    assert lint_main(["--not-a-flag"]) == 2
+
+
+def test_json_format_and_out_file(tree, tmp_path, capsys):
+    root = tree({"repro/sim/bad.py": DIRTY})
+    out_file = tmp_path / "report.json"
+    code = lint_main([str(root / "repro"), "--format", "json",
+                      "--out", str(out_file)])
+    assert code == 1
+    printed = json.loads(capsys.readouterr().out)
+    on_disk = json.loads(out_file.read_text())
+    assert printed == on_disk
+    assert printed["clean"] is False
+    assert printed["counts"] == {"DET001": 1}
+    (finding,) = printed["findings"]
+    assert finding["rule"] == "DET001"
+    assert finding["line"] == 4
+    assert "DET001" in printed["rules"]
+
+
+def test_ignore_drops_rule(tree):
+    root = tree({"repro/sim/bad.py": DIRTY})
+    assert lint_main([str(root / "repro"), "--ignore", "DET001"]) == 0
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "DET003", "TRACE001", "CACHE001",
+                    "API001"):
+        assert rule_id in out
+
+
+def test_repro_cli_dispatches_lint(tree, capsys):
+    root = tree({"repro/sim/bad.py": DIRTY})
+    assert repro_main(["lint", str(root / "repro")]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_module_entrypoint_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(REPO_SRC),
+         "--select", "DET001"],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO_SRC.parent), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_selfcheck_repo_source_is_clean():
+    """The acceptance gate: all six rules pass on repro's own source."""
+    code = lint_main([str(REPO_SRC)])
+    assert code == 0

@@ -1,0 +1,100 @@
+"""Linter infrastructure: scanning, suppressions, registry, imports."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.core import (
+    RULES,
+    ImportMap,
+    _module_parts,
+    _parse_suppressions,
+    run_lint,
+    scan_paths,
+)
+
+
+def test_module_parts_from_init_chain(tree):
+    root = tree({"repro/sim/clock.py": "x = 1\n"})
+    project, errors = scan_paths([root / "repro"])
+    assert not errors
+    (module,) = [m for m in project.modules if m.path.stem == "clock"]
+    assert module.parts == ("repro", "sim", "clock")
+    assert module.package == ("repro", "sim")
+
+
+def test_init_module_package_is_itself(tree):
+    root = tree({"repro/obs/topics.py": "x = 1\n"})
+    project, _ = scan_paths([root / "repro"])
+    (init,) = [m for m in project.modules
+               if m.path.stem == "__init__" and m.parts[-1] == "obs"]
+    assert init.parts == ("repro", "obs")
+    assert init.package == ("repro", "obs")
+
+
+def test_scan_reports_syntax_errors_as_findings(tree):
+    root = tree({"repro/bad.py": "def broken(:\n"})
+    project, errors = scan_paths([root / "repro"])
+    assert any(f.rule == "SYNTAX" for f in errors)
+    assert all(m.path.stem != "bad" for m in project.modules)
+
+
+def test_suppression_parsing_rules_and_all():
+    source = (
+        "x = 1  # repro-lint: disable=DET001 justification here\n"
+        "y = 2  # repro-lint: disable=DET001,DET002\n"
+        "z = 3  # repro-lint: disable=all why not\n"
+        "w = '# repro-lint: disable=DET001'\n"
+    )
+    sup = _parse_suppressions(source)
+    assert sup[1] == frozenset({"DET001"})
+    assert sup[2] == frozenset({"DET001", "DET002"})
+    assert sup[3] == frozenset({"all"})
+    assert 4 not in sup  # inside a string literal, not a comment
+
+
+def test_suppressed_finding_is_dropped(tree):
+    dirty = "import time\n\ndef f():\n    return time.time()  # repro-lint: disable=DET001 test fixture\n"
+    root = tree({"repro/sim/a.py": dirty})
+    findings, _ = run_lint([root / "repro"], select=["DET001"])
+    assert findings == []
+
+
+def test_unsuppressed_finding_survives(tree):
+    dirty = "import time\n\ndef f():\n    return time.time()\n"
+    root = tree({"repro/sim/a.py": dirty})
+    findings, _ = run_lint([root / "repro"], select=["DET001"])
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+def test_rule_registry_has_all_six_rules():
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    assert {"DET001", "DET002", "DET003", "TRACE001", "CACHE001",
+            "API001"} <= set(RULES)
+
+
+def test_import_map_resolves_aliases_and_relative(tree):
+    source = (
+        "import numpy as np\n"
+        "import os\n"
+        "from time import monotonic\n"
+        "from ..sim.tracing import TraceBus\n"
+    )
+    root = tree({"repro/obs/x.py": source})
+    project, _ = scan_paths([root / "repro"])
+    (module,) = [m for m in project.modules if m.path.stem == "x"]
+    imports = ImportMap(module)
+    assert imports.names["np"] == "numpy"
+    assert imports.names["monotonic"] == "time.monotonic"
+    assert imports.names["TraceBus"] == "repro.sim.tracing.TraceBus"
+    call = ast.parse("np.random.default_rng(0)").body[0].value
+    assert imports.resolve(call.func) == "numpy.random.default_rng"
+
+
+def test_findings_sorted_and_counted(tree):
+    dirty = "import time\n\ndef f():\n    return time.time(), time.monotonic()\n"
+    root = tree({"repro/sim/b.py": dirty, "repro/sim/a.py": dirty})
+    findings, files = run_lint([root / "repro"], select=["DET001"])
+    assert len(findings) == 4
+    assert findings == sorted(findings, key=lambda f: f.sort_key)
+    assert files >= 4  # two modules + __init__ chain

@@ -1,0 +1,275 @@
+"""Per-rule fixtures: at least one true positive and one near-miss
+negative for each of the six rules."""
+
+from repro.analysis.core import run_lint
+
+
+def lint(root, rule):
+    findings, _ = run_lint([root / "repro"], select=[rule])
+    return findings
+
+
+# -- DET001: wall clock in the simulation path ---------------------------------------
+
+
+def test_det001_flags_wall_clock_in_sim_path(tree):
+    root = tree({"repro/disk/t.py": (
+        "import time\n"
+        "from datetime import datetime\n"
+        "def service(env):\n"
+        "    a = time.monotonic()\n"
+        "    b = datetime.now()\n"
+        "    return a, b\n"
+    )})
+    rules = [f.message for f in lint(root, "DET001")]
+    assert len(rules) == 2
+    assert any("time.monotonic" in m for m in rules)
+    assert any("datetime.datetime.now" in m for m in rules)
+
+
+def test_det001_near_miss_env_now_and_driver_layer(tree):
+    root = tree({
+        # env.now is simulated time, not the wall clock.
+        "repro/disk/ok.py": "def service(env):\n    return env.now\n",
+        # The CLI layer may read the host clock for progress output.
+        "repro/cli2.py": "import time\ndef f():\n    return time.time()\n",
+    })
+    assert lint(root, "DET001") == []
+
+
+# -- DET002: randomness routed through sim.rng ---------------------------------------
+
+
+def test_det002_flags_stray_rng(tree):
+    root = tree({
+        "repro/virt/a.py": (
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(7)\n"
+        ),
+        "repro/mapreduce/b.py": "import random\n",
+    })
+    findings = lint(root, "DET002")
+    assert len(findings) == 2
+    assert any("numpy.random.default_rng" in f.message for f in findings)
+    assert any("stdlib random" in f.message for f in findings)
+
+
+def test_det002_near_miss_annotations_and_rng_module(tree):
+    root = tree({
+        # Annotating with the Generator type is not a draw.
+        "repro/virt/ok.py": (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator):\n"
+            "    return rng.uniform()\n"
+        ),
+        # repro.sim.rng itself is the one allowed constructor.
+        "repro/sim/rng.py": (
+            "import numpy as np\n"
+            "def fallback_rng():\n"
+            "    return np.random.default_rng(0)\n"
+        ),
+    })
+    assert lint(root, "DET002") == []
+
+
+# -- DET003: unordered iteration in the simulation path ------------------------------
+
+
+def test_det003_flags_set_iteration(tree):
+    root = tree({"repro/net/a.py": (
+        "def f(items, d):\n"
+        "    out = []\n"
+        "    for x in set(items):\n"
+        "        out.append(x)\n"
+        "    out += [k for k in d.keys()]\n"
+        "    return out\n"
+    )})
+    findings = lint(root, "DET003")
+    assert len(findings) == 2
+    assert any("set(...)" in f.message for f in findings)
+    assert any(".keys()" in f.message for f in findings)
+
+
+def test_det003_near_miss_sorted_wrapped(tree):
+    root = tree({"repro/net/ok.py": (
+        "def f(items, d):\n"
+        "    for x in sorted(set(items)):\n"
+        "        yield x\n"
+        "    for k in sorted(d.keys()):\n"
+        "        yield k\n"
+        "    for v in d.values():\n"  # dicts iterate in insertion order
+        "        yield v\n"
+    )})
+    assert lint(root, "DET003") == []
+
+
+# -- TRACE001: topic registry discipline ---------------------------------------------
+
+REGISTRY = (
+    "from dataclasses import dataclass\n"
+    "@dataclass(frozen=True)\n"
+    "class TopicSpec:\n"
+    "    name: str\n"
+    "    doc: str\n"
+    "TOPICS = (\n"
+    "    TopicSpec('disk.submit', 'submitted'),\n"
+    "    TopicSpec('disk.complete', 'completed'),\n"
+    ")\n"
+)
+
+
+def test_trace001_flags_unregistered_and_dead_topics(tree):
+    root = tree({
+        "repro/obs/topics.py": REGISTRY.replace(
+            "    TopicSpec('disk.complete', 'completed'),\n",
+            "    TopicSpec('disk.complete', 'completed'),\n"
+            "    TopicSpec('ghost.topic', 'dead'),\n"),
+        "repro/sim/a.py": (
+            "def f(bus, env):\n"
+            "    bus.publish(env.now, 'disk.submit', rid=1)\n"
+            "    bus.publish(env.now, 'disk.oops', rid=2)\n"
+            "    bus.record_topic('nope.*')\n"
+        ),
+    })
+    findings = lint(root, "TRACE001")
+    messages = [f.message for f in findings]
+    assert len(findings) == 4  # unknown publish, bad glob, 2 dead topics
+    assert any("'disk.oops'" in m for m in messages)
+    assert any("'nope.*'" in m and "matches no" in m for m in messages)
+    assert any("'ghost.topic'" in m and "no publish site" in m for m in messages)
+    assert any("'disk.complete'" in m and "no publish site" in m for m in messages)
+
+
+def test_trace001_near_miss_registered_and_globs(tree):
+    root = tree({
+        "repro/obs/topics.py": REGISTRY,
+        "repro/sim/ok.py": (
+            "def f(bus, env, topic):\n"
+            "    bus.publish(env.now, 'disk.submit', rid=1)\n"
+            "    bus.publish(env.now, 'disk.complete', rid=1)\n"
+            "    bus.record_topic('disk.*')\n"
+            "    bus.record_topic('*')\n"
+            "    bus.publish(env.now, topic, rid=2)\n"  # dynamic: not checkable
+        ),
+    })
+    assert lint(root, "TRACE001") == []
+
+
+def test_trace001_inert_without_registry_module(tree):
+    root = tree({"repro/sim/a.py": (
+        "def f(bus, env):\n"
+        "    bus.publish(env.now, 'anything.goes')\n"
+    )})
+    assert lint(root, "TRACE001") == []
+
+
+# -- CACHE001: cache-key purity ------------------------------------------------------
+
+
+def test_cache001_flags_ambient_reads_via_call_graph(tree):
+    root = tree({"repro/runner/spec.py": (
+        "import os\n"
+        "import time\n"
+        "_SEEN = {}\n"
+        "def note(k):\n"
+        "    _SEEN[k] = True\n"
+        "def helper(spec):\n"
+        "    if spec in _SEEN:\n"
+        "        return os.environ.get('SALT')\n"
+        "    return str(time.time())\n"
+        "def spec_key(spec):\n"
+        "    return helper(spec)\n"
+    )})
+    findings = lint(root, "CACHE001")
+    messages = [f.message for f in findings]
+    assert len(findings) == 3  # environ + wall clock + mutable state, via helper
+    assert any("os.environ" in m for m in messages)
+    assert any("time.time" in m for m in messages)
+    assert any("_SEEN" in m for m in messages)
+
+
+def test_cache001_near_miss_unreachable_and_immutable(tree):
+    root = tree({"repro/runner/spec.py": (
+        "import os\n"
+        "_NAMES = {'a': 1}\n"  # module dict, never mutated: effectively constant
+        "def unrelated():\n"
+        "    return os.environ.get('HOME')\n"  # not reachable from spec_key
+        "def spec_key(spec):\n"
+        "    return _NAMES.get(spec, 0)\n"
+    )})
+    assert lint(root, "CACHE001") == []
+
+
+# -- API001: frozen/slotted dataclass writes -----------------------------------------
+
+FROZEN = (
+    "from dataclasses import dataclass\n"
+    "@dataclass(frozen=True)\n"
+    "class Pair:\n"
+    "    a: int\n"
+    "    b: int\n"
+    "def normalise(p: Pair):\n"
+    "    object.__setattr__(p, 'a', abs(p.a))\n"  # own module: allowed
+)
+
+
+def test_api001_flags_cross_module_writes(tree):
+    root = tree({
+        "repro/virt/frozen.py": FROZEN,
+        "repro/core/mutate.py": (
+            "from ..virt.frozen import Pair\n"
+            "def bad(q: Pair):\n"
+            "    p = Pair(1, 2)\n"
+            "    p.a = 3\n"
+            "    object.__setattr__(q, 'b', 4)\n"
+        ),
+    })
+    findings = lint(root, "API001")
+    assert len(findings) == 2
+    assert any("attribute assignment .a" in f.message for f in findings)
+    assert any("object.__setattr__" in f.message for f in findings)
+
+
+def test_api001_near_miss_replace_and_unfrozen(tree):
+    root = tree({
+        "repro/virt/frozen.py": FROZEN,
+        "repro/virt/plain.py": (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Bag:\n"
+            "    a: int\n"
+        ),
+        "repro/core/ok.py": (
+            "from dataclasses import replace\n"
+            "from ..virt.frozen import Pair\n"
+            "from ..virt.plain import Bag\n"
+            "def good():\n"
+            "    p = Pair(1, 2)\n"
+            "    p = replace(p, a=3)\n"  # the sanctioned way
+            "    b = Bag(1)\n"
+            "    b.a = 2\n"  # Bag is neither frozen nor slotted
+            "    return p, b\n"
+        ),
+    })
+    assert lint(root, "API001") == []
+
+
+def test_api001_slotted_dataclass_counts(tree):
+    root = tree({
+        "repro/virt/slotted.py": (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Stats:\n"
+            "    __slots__ = ('n',)\n"
+            "    n: int\n"
+        ),
+        "repro/core/touch.py": (
+            "from ..virt.slotted import Stats\n"
+            "def poke():\n"
+            "    s = Stats(1)\n"
+            "    s.n = 2\n"
+        ),
+    })
+    findings = lint(root, "API001")
+    assert len(findings) == 1 and "Stats" in findings[0].message

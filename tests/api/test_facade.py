@@ -184,6 +184,23 @@ def test_experiments_common_shim_warns():
     assert any(issubclass(w.category, DeprecationWarning) for w in caught)
 
 
+def test_experiments_common_shim_forwards_every_moved_name():
+    """Regression: each moved helper resolves via the shim, with a
+    DeprecationWarning per access, until the alias is removed."""
+    import repro.api as api
+    import repro.experiments.common as common
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for name in sorted(common._MOVED):
+            assert getattr(common, name) is getattr(api, name)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == len(common._MOVED)
+    assert all("moved to repro.api" in str(w.message) for w in deprecations)
+    assert set(common._MOVED) <= set(dir(common))
+
+
 def test_experiments_common_shim_unknown_name():
     import repro.experiments.common as common
 
