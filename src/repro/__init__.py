@@ -22,9 +22,16 @@ Quickstart::
     print(report.summary())
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-from .api import RunResult, Scenario, scaled_testbed, simulate, sweep
+from .api import (
+    MultiJobScenario,
+    RunResult,
+    Scenario,
+    scaled_testbed,
+    simulate,
+    sweep,
+)
 from .core import (
     AdaptiveMetaScheduler,
     AdaptiveReport,
@@ -47,6 +54,7 @@ __all__ = [
     "JobRunner",
     "JobResult",
     "JobSpec",
+    "MultiJobScenario",
     "RunResult",
     "RunSpec",
     "Scenario",

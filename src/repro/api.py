@@ -43,6 +43,7 @@ from .faults.plan import FaultPlan
 from .hdfs.namenode import NameNode
 from .mapreduce.job import MB, JobConfig, JobSpec
 from .mapreduce.jobtracker import MapReduceJob
+from .mapreduce.multijob import JOB_SCHEDULERS, MultiJobConfig, SwitchPlan
 from .mapreduce.phases import JobResult
 from .net.topology import Topology
 from .sim.core import Environment, finish_event_census, start_event_census
@@ -50,10 +51,12 @@ from .virt.cluster import ClusterConfig, VirtualCluster
 from .virt.pagecache import PageCacheParams
 from .virt.pair import DEFAULT_PAIR, SchedulerPair
 from .workloads import benchmark
+from .workloads.arrivals import DEFAULT_SIZE_MIX, ArrivalConfig, SizeClass
 
 __all__ = [
     "DEFAULT_SCALE",
     "JobAssembly",
+    "MultiJobScenario",
     "PAPER_SEEDS",
     "RunResult",
     "Scenario",
@@ -340,6 +343,123 @@ class Scenario:
                            label=label)
         return RunSpec(kind="job", seed=seed, config=(testbed, solution),
                        label=label)
+
+
+@dataclass(frozen=True)
+class MultiJobScenario:
+    """A declarative multi-tenant experiment: N concurrent jobs.
+
+    Lowers to a ``RunSpec(kind="multi_job")`` executing a
+    :class:`~repro.mapreduce.multijob.MultiJobTracker` over a Poisson
+    (or trace-driven) arrival stream.  Like :class:`Scenario` it is
+    pure data with a pure ``to_spec`` — equal scenarios share sweep
+    cache keys.
+
+    ``pair`` sets the cluster's static elevator pair; ``switch``
+    overrides it with cluster-scope phase-majority switching, given as
+    ``(map_pair, tail_pair)`` in any form ``SchedulerPair.parse``
+    accepts (e.g. ``("ad", "cc")``) or as a full
+    :class:`~repro.mapreduce.multijob.SwitchPlan`.
+    """
+
+    workload: Union[str, JobSpec] = "sort"
+    scale: float = DEFAULT_SCALE
+    hosts: int = 4
+    vms_per_host: int = 4
+    #: Static (VMM, VM) pair; ``None`` = the stock (cfq, cfq).
+    pair: Union[str, SchedulerPair, None] = None
+    #: Phase-majority switch plan; overrides ``pair`` when set.
+    switch: Union[SwitchPlan, Tuple[str, str], None] = None
+    #: Job-level scheduler: fifo | fair | capacity | sjf.
+    scheduler: str = "fifo"
+    n_jobs: int = 3
+    #: Mean Poisson arrival rate, jobs per simulated second.
+    arrival_rate: float = 0.02
+    tenants: Tuple[str, ...] = ("tenant-a", "tenant-b")
+    size_mix: Tuple[SizeClass, ...] = DEFAULT_SIZE_MIX
+    #: Full arrival process; overrides the poisson fields when set.
+    arrivals: Optional[ArrivalConfig] = None
+    bytes_per_vm: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        validate_scale(self.scale)
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.scheduler not in JOB_SCHEDULERS:
+            raise ValueError(
+                f"unknown job scheduler {self.scheduler!r}; choose from "
+                f"{sorted(JOB_SCHEDULERS)}"
+            )
+        if self.arrivals is None and not self.tenants:
+            raise ValueError("at least one tenant is required")
+
+    def with_(self, **changes) -> "MultiJobScenario":
+        return replace(self, **changes)
+
+    # -- lowering ------------------------------------------------------------------
+    @property
+    def job_spec(self) -> JobSpec:
+        workload = self.workload
+        return benchmark(workload) if isinstance(workload, str) else workload
+
+    def arrival_config(self) -> ArrivalConfig:
+        if self.arrivals is not None:
+            return self.arrivals
+        return ArrivalConfig(
+            kind="poisson",
+            n_jobs=self.n_jobs,
+            rate=self.arrival_rate,
+            tenants=self.tenants,
+            size_classes=self.size_mix,
+        )
+
+    def switch_plan(self) -> Optional[SwitchPlan]:
+        if self.switch is None:
+            return None
+        if isinstance(self.switch, SwitchPlan):
+            return self.switch
+        map_pair, tail_pair = self.switch
+        return SwitchPlan(
+            map_pair=SchedulerPair.parse(map_pair)
+            if isinstance(map_pair, str) else map_pair,
+            tail_pair=SchedulerPair.parse(tail_pair)
+            if isinstance(tail_pair, str) else tail_pair,
+        )
+
+    def multi_job_config(self) -> MultiJobConfig:
+        cluster = scaled_cluster(
+            self.scale, hosts=self.hosts, vms_per_host=self.vms_per_host
+        )
+        if self.pair is not None:
+            pair = (SchedulerPair.parse(self.pair)
+                    if isinstance(self.pair, str) else self.pair)
+            cluster = cluster.with_(initial_pair=pair)
+        job = scaled_job(self.job_spec, self.scale,
+                         bytes_per_vm=self.bytes_per_vm)
+        return MultiJobConfig(
+            cluster=cluster,
+            base_job=job,
+            arrivals=self.arrival_config(),
+            scheduler=self.scheduler,
+            switch_plan=self.switch_plan(),
+        )
+
+    def to_spec(self, seed: int = 0) -> "RunSpec":
+        """The ``multi_job`` :class:`~repro.runner.spec.RunSpec` this
+        scenario equals (pure: no environment reads, no clock)."""
+        # Imported here, not at module level: the runner layer imports
+        # this facade, so the facade must sit above it.
+        from .runner.spec import RunSpec
+
+        label = self.label or (
+            f"{self.job_spec.name} x{self.n_jobs} [{self.scheduler}] "
+            f"seed={seed}"
+        )
+        return RunSpec(kind="multi_job", seed=seed,
+                       config=self.multi_job_config(), label=label)
 
 
 @dataclass(frozen=True)

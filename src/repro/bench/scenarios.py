@@ -17,7 +17,9 @@ The five scenarios cover the simulator's distinct hot paths:
 * ``faulty_job``    — sort under the LIGHT fault plan (fault machinery
   + speculative re-execution on the hot path, Fig. 9);
 * ``scale_sweep``   — an 8-host × 4-VM cluster swept over two scales
-  (the "big cluster" shape the ROADMAP wants to grow into).
+  (the "big cluster" shape the ROADMAP wants to grow into);
+* ``multijob``      — a Poisson stream of three concurrent sort jobs
+  over shared slots (the multi-tenant control-plane hot path).
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from ..api import scaled_cluster, scaled_testbed
+from ..api import MultiJobScenario, scaled_cluster, scaled_testbed
 from ..core.solution import Solution
 from ..faults.presets import LIGHT
 from ..runner.spec import RunSpec
@@ -148,6 +150,22 @@ def _scale_sweep() -> List[RunSpec]:
     ]
 
 
+def _multijob() -> List[RunSpec]:
+    return [
+        MultiJobScenario(
+            workload="sort",
+            scale=0.05,
+            hosts=2,
+            vms_per_host=2,
+            scheduler="fifo",
+            n_jobs=3,
+            arrival_rate=0.2,
+            tenants=("tenant-a", "tenant-b"),
+            label="bench multijob",
+        ).to_spec(seed=0)
+    ]
+
+
 SCENARIOS: Dict[str, BenchScenario] = {
     s.name: s
     for s in (
@@ -201,12 +219,31 @@ SCENARIOS: Dict[str, BenchScenario] = {
             name="scale_sweep",
             make_specs=_scale_sweep,
             repeats=3, quick_repeats=0, warmup=0,
+            # Digest updated when partition extents became exact (the
+            # shuffle partition_bytes fix): at scales 0.05/0.1 the block
+            # size is not a multiple of the reducer count, so per-reducer
+            # fetch sizes legitimately shifted.  The four power-of-two
+            # scenarios above were bit-unchanged by that fix.
             expected_digest=(
-                "c5b9aa131f0898559be75c39af51fa59"
-                "c9f103c44d97221ec17713c23df2bac9"
+                "c06656eeb5b563a428941a9148fd4c92"
+                "9786c545dc6697f3769b38584c319f04"
             ),
             baseline=Baseline(wall_s=11.430678, events=462894,
                               events_per_s=40495.8),
+        ),
+        # Multi-tenant control plane: three overlapping sort jobs on a
+        # 2x2 cluster under FIFO.  New in the multi-job PR, so its
+        # baseline is the first measurement on that revision.
+        BenchScenario(
+            name="multijob",
+            make_specs=_multijob,
+            repeats=3, quick_repeats=2, warmup=1,
+            expected_digest=(
+                "61760cb1a9cbc7773a7b31b38ec707ec"
+                "af828956fa5870dda612926741f4c163"
+            ),
+            baseline=Baseline(wall_s=0.356022, events=45156,
+                              events_per_s=126834.7),
         ),
     )
 }

@@ -43,6 +43,7 @@ from typing import List, Optional, Set
 from .api import DEFAULT_SCALE, validate_scale
 from .experiments import EXPERIMENTS
 from .faults import PRESETS
+from .mapreduce.multijob import JOB_SCHEDULERS
 from .obs import capture
 from .obs.metrics import merge_snapshots
 from .obs.report import report_path
@@ -150,6 +151,29 @@ def build_parser() -> argparse.ArgumentParser:
         "construction)",
     )
     parser.add_argument(
+        "--arrivals",
+        type=_parse_jobs,
+        default=None,
+        metavar="N",
+        help="number of jobs in the arrival stream, for experiments that "
+        "take one (currently fig-multijob; default 4)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=sorted(JOB_SCHEDULERS),
+        default=None,
+        help="restrict multi-job experiments to one job-level scheduler "
+        "(default: compare fifo/fair/sjf)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=_parse_jobs,
+        default=None,
+        metavar="N",
+        help="number of tenants sharing the cluster in multi-job "
+        "experiments (default 2)",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="DIR",
         default=None,
@@ -218,16 +242,19 @@ def _attach_obs_snapshot(result, out_dir: str, files_before: Set[str]) -> None:
 
 def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
             quiet: bool = False, faults: Optional[str] = None,
-            trace_out: Optional[str] = None) -> bool:
+            trace_out: Optional[str] = None,
+            arrivals: Optional[int] = None, scheduler: Optional[str] = None,
+            tenants: Optional[int] = None) -> bool:
     start = time.time()
     before = sweep.stats.snapshot()
     files_before: Set[str] = set()
     if trace_out is not None and os.path.isdir(trace_out):
         files_before = set(os.listdir(trace_out))
     fn = EXPERIMENTS[exp_id]
+    params = inspect.signature(fn).parameters
     kwargs = dict(scale=scale, seeds=seeds, sweep=sweep)
     if faults is not None:
-        if "faults" not in inspect.signature(fn).parameters:
+        if "faults" not in params:
             print(
                 f"repro: note: {exp_id} does not take faults; "
                 "--faults ignored (the figure is fault-free by construction)",
@@ -235,6 +262,18 @@ def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
             )
         else:
             kwargs["faults"] = faults
+    for flag, value in (("arrivals", arrivals), ("scheduler", scheduler),
+                        ("tenants", tenants)):
+        if value is None:
+            continue
+        if flag not in params:
+            print(
+                f"repro: note: {exp_id} does not take {flag}; "
+                f"--{flag} ignored (it runs a single job by construction)",
+                file=sys.stderr,
+            )
+        else:
+            kwargs[flag] = value
     result = fn(**kwargs)
     if trace_out is not None:
         _attach_obs_snapshot(result, trace_out, files_before)
@@ -304,7 +343,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             for exp_id in ids:
                 ok = run_one(exp_id, sweep, args.scale, args.seeds,
                              quiet=args.quiet, faults=args.faults,
-                             trace_out=args.trace_out) and ok
+                             trace_out=args.trace_out,
+                             arrivals=args.arrivals,
+                             scheduler=args.scheduler,
+                             tenants=args.tenants) and ok
             if not args.quiet:
                 print(sweep.profile_summary(), file=sys.stderr)
     finally:

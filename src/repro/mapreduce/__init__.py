@@ -3,11 +3,20 @@
 from .job import JobConfig, JobSpec, MB
 from .jobtracker import JobContext, MapReduceJob, TaskPool
 from .map_task import MapTask, map_task_proc
+from .multijob import (
+    JOB_SCHEDULERS,
+    MultiJobConfig,
+    MultiJobResult,
+    MultiJobTracker,
+    SwitchPlan,
+    job_scheduler,
+)
 from .phases import PHASE_NAMES, JobResult, PhaseTimes
 from .reduce_task import ReduceTask, reduce_task_proc
 from .shuffle import MapOutput, ShuffleService
 
 __all__ = [
+    "JOB_SCHEDULERS",
     "JobConfig",
     "JobContext",
     "JobResult",
@@ -16,11 +25,16 @@ __all__ = [
     "MapOutput",
     "MapReduceJob",
     "MapTask",
+    "MultiJobConfig",
+    "MultiJobResult",
+    "MultiJobTracker",
     "PHASE_NAMES",
     "PhaseTimes",
     "ReduceTask",
     "ShuffleService",
+    "SwitchPlan",
     "TaskPool",
+    "job_scheduler",
     "map_task_proc",
     "reduce_task_proc",
 ]

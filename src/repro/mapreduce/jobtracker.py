@@ -92,6 +92,20 @@ class JobContext:
     map_progress: List = field(default_factory=list)
     reduce_input_bytes: float = 0.0
     reduce_output_bytes: float = 0.0
+    #: Multi-job runs tag each job's trace records; ``None`` (the
+    #: single-job path) keeps historical trace payloads byte-identical.
+    job_tag: Optional[str] = None
+
+    def slowstart_count(self) -> int:
+        """Maps that must finish before reducers may launch.
+
+        ``slowstart=0`` means *zero* — reducers start at job start —
+        while any positive fraction requires at least one finished map
+        (the historical ``max(1, ...)`` behaviour).
+        """
+        if self.config.slowstart == 0:
+            return 0
+        return max(1, int(self.config.slowstart * self.n_maps))
 
     def compute(self, vm, seconds: float, label: Any = None):
         """Submit jittered CPU work on ``vm`` (lockstep breaker)."""
@@ -105,11 +119,19 @@ class JobContext:
         frac = self.maps_finished / self.n_maps
         self.map_progress.append((self.env.now, frac))
         if self.trace is not None:
-            self.trace.publish(
-                self.env.now, "job.map_finished",
-                task_id=task.task_id, done=self.maps_finished, total=self.n_maps,
-            )
-        slowstart_count = max(1, int(self.config.slowstart * self.n_maps))
+            if self.job_tag is None:
+                self.trace.publish(
+                    self.env.now, "job.map_finished",
+                    task_id=task.task_id, done=self.maps_finished,
+                    total=self.n_maps,
+                )
+            else:
+                self.trace.publish(
+                    self.env.now, "job.map_finished",
+                    task_id=task.task_id, done=self.maps_finished,
+                    total=self.n_maps, job=self.job_tag,
+                )
+        slowstart_count = self.slowstart_count()
         if (
             self.maps_finished >= slowstart_count
             and self.reducers_may_start is not None
@@ -120,16 +142,27 @@ class JobContext:
             if not self.maps_done_event.triggered:
                 self.maps_done_event.succeed(self.env.now)
             if self.trace is not None:
-                self.trace.publish(self.env.now, "job.maps_done")
+                if self.job_tag is None:
+                    self.trace.publish(self.env.now, "job.maps_done")
+                else:
+                    self.trace.publish(self.env.now, "job.maps_done",
+                                       job=self.job_tag)
 
     def on_reduce_finished(self, task: ReduceTask, input_bytes: float,
                            output_bytes: float) -> None:
         self.reduce_input_bytes += input_bytes
         self.reduce_output_bytes += output_bytes
         if self.trace is not None:
-            self.trace.publish(
-                self.env.now, "job.reduce_finished", reducer=task.reducer_idx
-            )
+            if self.job_tag is None:
+                self.trace.publish(
+                    self.env.now, "job.reduce_finished",
+                    reducer=task.reducer_idx,
+                )
+            else:
+                self.trace.publish(
+                    self.env.now, "job.reduce_finished",
+                    reducer=task.reducer_idx, job=self.job_tag,
+                )
 
 
 class MapReduceJob:
@@ -216,6 +249,10 @@ class MapReduceJob:
             reducers_may_start=self.env.event(),
         )
         self.ctx = ctx
+        if ctx.slowstart_count() == 0:
+            # slowstart=0: reducers are free to launch at job start, not
+            # gated on the first finished map.
+            ctx.reducers_may_start.succeed()
         self._pool = TaskPool(tasks)
         self._input_file = input_file
         self.attempts = AttemptManager(

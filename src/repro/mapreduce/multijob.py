@@ -1,0 +1,634 @@
+"""Multi-tenant control plane: N concurrent jobs over shared slots.
+
+The single-job :class:`~repro.mapreduce.jobtracker.MapReduceJob` owns
+its slot workers outright.  In a consolidated cluster the interesting
+dynamics are *between* jobs: one tenant's map wave overlapping
+another's shuffle tail, job-level schedulers arbitrating slot access,
+and the winning elevator pair flipping with the cluster-wide phase mix.
+:class:`MultiJobTracker` is a JobTracker-level multiplexer for exactly
+that: it owns the per-VM map/reduce slot pools and admits tasks from
+every live job through a pluggable job-level scheduler (FIFO,
+fair-share, capacity, shortest-job-first), with an arrival stream
+(:mod:`repro.workloads.arrivals`) feeding it jobs over simulated time.
+
+Design notes:
+
+* Each admitted job gets the same per-job machinery the single-job path
+  builds — a :class:`~repro.mapreduce.jobtracker.JobContext`, a
+  :class:`~repro.mapreduce.jobtracker.TaskPool`, a
+  :class:`~repro.mapreduce.shuffle.ShuffleService`, its own HDFS
+  input/output namespace and CPU-noise RNG stream — and runs the
+  unmodified task generators.  One admitted job under FIFO therefore
+  behaves exactly like ``MapReduceJob`` modulo scratch-file tags.
+* Slot workers never busy-wait: a worker that finds no eligible task
+  parks on a wake event that admission and task completion trigger.
+* Reduce slots are claimable only once a job's slowstart gate
+  (``reducers_may_start``) has opened, so shuffle overlap follows the
+  same policy as the single-job tracker.
+* The optional :class:`SwitchPlan` applies the paper's adaptive idea at
+  cluster scope: while the majority of live jobs are in their map
+  phase, run ``map_pair``; once the mix tips into shuffle/reduce
+  tails, run ``tail_pair`` — with ``min_dwell`` hysteresis so a churny
+  mix cannot thrash the elevators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..hdfs.datanode import DataNodeService
+from ..hdfs.namenode import NameNode
+from ..sim.events import AllOf, Event
+from ..virt.cluster import ClusterConfig
+from ..virt.pair import SchedulerPair
+from .job import JobConfig
+from .jobtracker import JobContext, TaskPool
+from .map_task import MapTask, map_task_proc
+from .reduce_task import ReduceTask, reduce_task_proc
+from .shuffle import ShuffleService
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.topology import Topology
+    from ..sim.core import Environment
+    from ..sim.tracing import TraceBus
+    from ..virt.cluster import VirtualCluster
+    from ..workloads.arrivals import ArrivalConfig, JobArrival
+
+__all__ = [
+    "JOB_SCHEDULERS",
+    "JobScheduler",
+    "LiveJob",
+    "MultiJobConfig",
+    "MultiJobResult",
+    "MultiJobTracker",
+    "SwitchPlan",
+    "job_scheduler",
+]
+
+
+# -- job-level scheduling policies ----------------------------------------------------
+
+
+class JobScheduler:
+    """Orders live jobs by claim priority (highest priority first).
+
+    Stateless by design: policies are pure functions of the live-job
+    set, so adding one cannot perturb determinism.  Ties always fall
+    back to ``(submit_time, job_id)`` — total and deterministic.
+    """
+
+    name = "?"
+
+    def order(self, jobs: List["LiveJob"],
+              tracker: "MultiJobTracker") -> List["LiveJob"]:
+        raise NotImplementedError
+
+
+class FifoScheduler(JobScheduler):
+    """Hadoop's default: strict submission order."""
+
+    name = "fifo"
+
+    def order(self, jobs, tracker):
+        return sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+
+
+class FairScheduler(JobScheduler):
+    """Fair-share: the job holding the fewest slots claims next."""
+
+    name = "fair"
+
+    def order(self, jobs, tracker):
+        return sorted(
+            jobs, key=lambda j: (j.running_tasks, j.submit_time, j.job_id)
+        )
+
+
+class CapacityScheduler(JobScheduler):
+    """Per-tenant capacity: the most under-served *tenant* goes first.
+
+    Tenants get equal shares; within a tenant, FIFO.  This is the
+    coarse-grained YARN capacity idea without preemption.
+    """
+
+    name = "capacity"
+
+    def order(self, jobs, tracker):
+        usage: Dict[str, int] = {}
+        for job in jobs:
+            usage[job.tenant] = usage.get(job.tenant, 0) + job.running_tasks
+        return sorted(
+            jobs,
+            key=lambda j: (usage[j.tenant], j.submit_time, j.job_id),
+        )
+
+
+class SjfScheduler(JobScheduler):
+    """Shortest-job-first by total input bytes (size is known at submit)."""
+
+    name = "sjf"
+
+    def order(self, jobs, tracker):
+        return sorted(
+            jobs, key=lambda j: (j.input_bytes, j.submit_time, j.job_id)
+        )
+
+
+JOB_SCHEDULERS: Dict[str, type] = {
+    cls.name: cls
+    for cls in (FifoScheduler, FairScheduler, CapacityScheduler, SjfScheduler)
+}
+
+
+def job_scheduler(name: str) -> JobScheduler:
+    """Instantiate a registered job-level scheduler by name."""
+    try:
+        return JOB_SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown job scheduler {name!r}; choose from "
+            f"{sorted(JOB_SCHEDULERS)}"
+        ) from None
+
+
+# -- configuration --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SwitchPlan:
+    """Cluster-scope phase-majority elevator switching.
+
+    ``map_pair`` runs while most live jobs are still mapping,
+    ``tail_pair`` once the mix is majority shuffle/reduce;
+    ``min_dwell`` seconds must pass between switches (hysteresis
+    against a churny job mix).
+    """
+
+    map_pair: SchedulerPair
+    tail_pair: SchedulerPair
+    min_dwell: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.min_dwell < 0:
+            raise ValueError("min_dwell must be non-negative")
+
+
+@dataclass(frozen=True)
+class MultiJobConfig:
+    """Everything one multi-job simulation needs (pure data).
+
+    Composed of dataclasses/tuples/scalars only so it canonicalises
+    into the sweep cache key; the ``multi_job`` run kind executes it.
+    ``base_job`` is the template every arrival instantiates (the size
+    class scales its ``bytes_per_vm``; input/output paths get per-job
+    suffixes).
+    """
+
+    cluster: ClusterConfig
+    base_job: JobConfig
+    arrivals: "ArrivalConfig"
+    scheduler: str = "fifo"
+    map_slots_per_vm: int = 2
+    reduce_slots_per_vm: int = 2
+    switch_plan: Optional[SwitchPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in JOB_SCHEDULERS:
+            raise ValueError(
+                f"unknown job scheduler {self.scheduler!r}; choose from "
+                f"{sorted(JOB_SCHEDULERS)}"
+            )
+        if self.map_slots_per_vm < 1 or self.reduce_slots_per_vm < 1:
+            raise ValueError("slot counts must be >= 1")
+
+
+# -- runtime state --------------------------------------------------------------------
+
+
+class LiveJob:
+    """One admitted job's runtime state under the multiplexer."""
+
+    def __init__(
+        self,
+        job_id: int,
+        tenant: str,
+        size_class: str,
+        submit_time: float,
+        ctx: JobContext,
+        pool: TaskPool,
+        reduce_queues: Dict[str, Deque[ReduceTask]],
+        n_reducers: int,
+        input_bytes: int,
+    ):
+        self.job_id = job_id
+        self.tenant = tenant
+        self.size_class = size_class
+        self.submit_time = submit_time
+        self.ctx = ctx
+        self.pool = pool
+        #: Unclaimed reduce tasks, keyed by their pinned VM.
+        self.reduce_queues = reduce_queues
+        self.n_reducers = n_reducers
+        self.input_bytes = input_bytes
+        self.running_maps = 0
+        self.running_reduces = 0
+        self.reduces_finished = 0
+        self.first_launch: Optional[float] = None
+        self.finished = False
+        self.end_time: Optional[float] = None
+
+    @property
+    def tag(self) -> str:
+        return f"j{self.job_id}"
+
+    @property
+    def running_tasks(self) -> int:
+        return self.running_maps + self.running_reduces
+
+    @property
+    def maps_complete(self) -> bool:
+        return self.ctx.maps_finished >= self.ctx.n_maps
+
+    def has_unclaimed_reduces(self) -> bool:
+        return any(len(q) > 0 for q in self.reduce_queues.values())
+
+
+@dataclass
+class MultiJobResult:
+    """What a finished multi-job run reports (JSON-able job records)."""
+
+    scheduler: str
+    start: float
+    makespan: float
+    jobs: List[Dict[str, Any]]
+
+
+# -- the multiplexer ------------------------------------------------------------------
+
+
+class MultiJobTracker:
+    """Admits an arrival stream and multiplexes jobs over shared slots.
+
+    Usage::
+
+        tracker = MultiJobTracker(env, cluster, topology, namenode,
+                                  base_job, arrivals, scheduler="fair")
+        proc = tracker.start()
+        env.run(until=proc)
+        result = proc.value          # a MultiJobResult
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        cluster: "VirtualCluster",
+        topology: "Topology",
+        namenode: NameNode,
+        base_job: JobConfig,
+        arrivals: Sequence["JobArrival"],
+        scheduler: str = "fifo",
+        map_slots_per_vm: int = 2,
+        reduce_slots_per_vm: int = 2,
+        switch_plan: Optional[SwitchPlan] = None,
+        trace: Optional["TraceBus"] = None,
+    ):
+        if not arrivals:
+            raise ValueError("at least one job arrival is required")
+        times = [a.time for a in arrivals]
+        if times != sorted(times):
+            raise ValueError("arrivals must be time-ordered")
+        self.env = env
+        self.cluster = cluster
+        self.topology = topology
+        self.namenode = namenode
+        self.base_job = base_job
+        self.arrivals = list(arrivals)
+        self.scheduler = job_scheduler(scheduler)
+        self.map_slots_per_vm = map_slots_per_vm
+        self.reduce_slots_per_vm = reduce_slots_per_vm
+        self.switch_plan = switch_plan
+        self.trace = trace
+        for host in cluster.hosts:
+            topology.add_host(host.name)
+        self.dn = DataNodeService(env, cluster, topology)
+        #: Admitted jobs in admission order (finished ones stay listed).
+        self.jobs: List[LiveJob] = []
+        self.n_finished = 0
+        self._arrivals_open = True
+        self._next_task_id = 0
+        self._slot_waiters: List[Event] = []
+        self._phase_waiters: List[Event] = []
+        self.process = None
+
+    # -- lifecycle ------------------------------------------------------------------
+    def start(self):
+        """Launch the control plane; the process's value is a
+        :class:`MultiJobResult`."""
+        if self.process is not None:
+            raise RuntimeError("tracker already started")
+        self.process = self.env.process(self._run())
+        return self.process
+
+    def _run(self):
+        start = self.env.now
+        procs = [self.env.process(self._arrival_proc())]
+        for vm in self.cluster.vms:
+            for _ in range(self.map_slots_per_vm):
+                procs.append(self.env.process(self._map_worker(vm.vm_id)))
+            for _ in range(self.reduce_slots_per_vm):
+                procs.append(self.env.process(self._reduce_worker(vm.vm_id)))
+        if self.switch_plan is not None:
+            # Deliberately outside the completion barrier: the monitor
+            # may be mid-dwell when the last job drains, and its timeout
+            # must not stretch the makespan.
+            self.env.process(self._switch_monitor())
+        yield AllOf(self.env, procs)
+        end = self.env.now
+
+        unfinished = [job.tag for job in self.jobs if not job.finished]
+        if unfinished or len(self.jobs) != len(self.arrivals):
+            raise RuntimeError(
+                f"multi-job run ended inconsistently: admitted "
+                f"{len(self.jobs)}/{len(self.arrivals)}, "
+                f"unfinished {unfinished}"
+            )
+        return MultiJobResult(
+            scheduler=self.scheduler.name,
+            start=start,
+            makespan=end - start,
+            jobs=[self._record(job, end) for job in
+                  sorted(self.jobs, key=lambda j: j.job_id)],
+        )
+
+    def _record(self, job: LiveJob, end: float) -> Dict[str, Any]:
+        ctx = job.ctx
+        maps_done = (ctx.maps_done_event.value
+                     if ctx.maps_done_event.triggered else end)
+        shuffle_done = (ctx.shuffle.shuffle_done.value
+                        if ctx.shuffle.shuffle_done.triggered else end)
+        return {
+            "job_id": job.job_id,
+            "tag": job.tag,
+            "tenant": job.tenant,
+            "size_class": job.size_class,
+            "submit": job.submit_time,
+            "first_launch": (job.first_launch
+                             if job.first_launch is not None
+                             else job.submit_time),
+            "maps_done": maps_done,
+            "shuffle_done": shuffle_done,
+            "end": job.end_time,
+            "latency": job.end_time - job.submit_time,
+            "n_maps": ctx.n_maps,
+            "n_reducers": job.n_reducers,
+            "input_bytes": job.input_bytes,
+            "map_output_bytes": ctx.shuffle.total_map_output_bytes,
+            "shuffle_bytes": ctx.shuffle.shuffled_bytes,
+            "reduce_output_bytes": ctx.reduce_output_bytes,
+            "stolen": job.pool.stolen,
+        }
+
+    # -- wake plumbing (no busy-wait) -----------------------------------------------
+    def _sleep(self) -> Event:
+        event = self.env.event()
+        self._slot_waiters.append(event)
+        return event
+
+    def _notify(self) -> None:
+        waiters, self._slot_waiters = self._slot_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    def _phase_sleep(self) -> Event:
+        event = self.env.event()
+        self._phase_waiters.append(event)
+        return event
+
+    def _notify_phase(self) -> None:
+        waiters, self._phase_waiters = self._phase_waiters, []
+        for event in waiters:
+            event.succeed()
+
+    # -- admission ------------------------------------------------------------------
+    def _arrival_proc(self):
+        for arrival in self.arrivals:
+            delay = arrival.time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._admit(arrival)
+        self._arrivals_open = False
+        self._notify()
+        self._notify_phase()
+
+    def _job_config(self, arrival: "JobArrival") -> JobConfig:
+        base = self.base_job
+        bytes_per_vm = max(
+            base.block_size, int(base.bytes_per_vm * arrival.size_class.bytes_factor)
+        )
+        # Whole blocks only, like scaled_job: a remainder byte would add
+        # a short block and change the wave structure unpredictably.
+        bytes_per_vm = base.block_size * max(1, bytes_per_vm // base.block_size)
+        return base.with_(
+            bytes_per_vm=bytes_per_vm,
+            input_path=f"{base.input_path}/j{arrival.job_id}",
+            output_path=f"{base.output_path}/j{arrival.job_id}",
+        )
+
+    def _admit(self, arrival: "JobArrival") -> None:
+        job_id = arrival.job_id
+        cfg = self._job_config(arrival)
+        input_file = self.namenode.load_input(cfg.input_path, cfg.bytes_per_vm)
+        # Task ids are globally unique across jobs: scratch-file names
+        # and CFQ process queues are keyed by them, and two jobs' "map 0"
+        # sharing a VM must not collide.
+        tasks = [
+            MapTask(task_id=self._next_task_id + i, block=block,
+                    vm_id=block.replicas[0])
+            for i, block in enumerate(input_file.blocks)
+        ]
+        self._next_task_id += len(tasks)
+        n_reducers = cfg.reducers_per_vm * len(self.cluster.vms)
+        output_file = self.namenode.register_file(cfg.output_path)
+        shuffle = ShuffleService(self.env, n_reducers, len(tasks))
+        ctx = JobContext(
+            env=self.env,
+            cluster=self.cluster,
+            topology=self.topology,
+            namenode=self.namenode,
+            dn=self.dn,
+            config=cfg,
+            shuffle=shuffle,
+            output_file=output_file,
+            trace=self.trace,
+            rng=self.cluster.rng.stream(f"job{job_id}.cpu_noise"),
+            n_maps=len(tasks),
+            maps_done_event=self.env.event(),
+            reducers_may_start=self.env.event(),
+            job_tag=f"j{job_id}",
+        )
+        if ctx.slowstart_count() == 0:
+            ctx.reducers_may_start.succeed()
+        reduce_queues: Dict[str, Deque[ReduceTask]] = {
+            vm.vm_id: deque() for vm in self.cluster.vms
+        }
+        idx = 0
+        for _ in range(cfg.reducers_per_vm):
+            for vm in self.cluster.vms:
+                reduce_queues[vm.vm_id].append(
+                    ReduceTask(reducer_idx=idx, vm_id=vm.vm_id,
+                               tag=f"j{job_id}.")
+                )
+                idx += 1
+        job = LiveJob(
+            job_id=job_id,
+            tenant=arrival.tenant,
+            size_class=arrival.size_class.name,
+            submit_time=self.env.now,
+            ctx=ctx,
+            pool=TaskPool(tasks),
+            reduce_queues=reduce_queues,
+            n_reducers=n_reducers,
+            input_bytes=input_file.size_bytes,
+        )
+        self.jobs.append(job)
+        if self.trace is not None:
+            self.trace.publish(
+                self.env.now, "sched.job_admitted",
+                job=job.tag, tenant=job.tenant, size_class=job.size_class,
+                input_bytes=job.input_bytes, n_maps=ctx.n_maps,
+            )
+        self._notify()
+        self._notify_phase()
+
+    # -- slot workers ---------------------------------------------------------------
+    def _live(self) -> List[LiveJob]:
+        return [job for job in self.jobs if not job.finished]
+
+    def _claim_map(self, vm_id: str) -> Optional[Tuple[LiveJob, MapTask]]:
+        for job in self.scheduler.order(self._live(), self):
+            task = job.pool.take(vm_id)
+            if task is not None:
+                return job, task
+        return None
+
+    def _claim_reduce(self, vm_id: str) -> Optional[Tuple[LiveJob, ReduceTask]]:
+        for job in self.scheduler.order(self._live(), self):
+            if not job.ctx.reducers_may_start.triggered:
+                continue  # slowstart gate still closed
+            queue = job.reduce_queues[vm_id]
+            if queue:
+                return job, queue.popleft()
+        return None
+
+    def _map_worker(self, vm_id: str):
+        while True:
+            claim = self._claim_map(vm_id)
+            if claim is not None:
+                job, task = claim
+                job.running_maps += 1
+                if job.first_launch is None:
+                    job.first_launch = self.env.now
+                if self.trace is not None:
+                    self.trace.publish(
+                        self.env.now, "sched.task_assigned",
+                        job=job.tag, kind="map", vm=vm_id, task=task.task_id,
+                    )
+                yield self.env.process(map_task_proc(job.ctx, task))
+                job.running_maps -= 1
+                self._task_done(job)
+                continue
+            if not self._arrivals_open and not any(
+                job.pool.remaining() > 0 for job in self.jobs
+            ):
+                return
+            yield self._sleep()
+
+    def _reduce_worker(self, vm_id: str):
+        while True:
+            claim = self._claim_reduce(vm_id)
+            if claim is not None:
+                job, task = claim
+                job.running_reduces += 1
+                if job.first_launch is None:
+                    job.first_launch = self.env.now
+                if self.trace is not None:
+                    self.trace.publish(
+                        self.env.now, "sched.task_assigned",
+                        job=job.tag, kind="reduce", vm=vm_id,
+                        task=task.reducer_idx,
+                    )
+                yield self.env.process(reduce_task_proc(job.ctx, task))
+                job.running_reduces -= 1
+                job.reduces_finished += 1
+                self._task_done(job)
+                continue
+            if not self._arrivals_open and not any(
+                job.has_unclaimed_reduces() for job in self.jobs
+            ):
+                return
+            yield self._sleep()
+
+    def _task_done(self, job: LiveJob) -> None:
+        self._maybe_finish(job)
+        self._notify()
+        self._notify_phase()
+
+    def _maybe_finish(self, job: LiveJob) -> None:
+        if job.finished:
+            return
+        if job.maps_complete and job.reduces_finished >= job.n_reducers:
+            job.finished = True
+            job.end_time = self.env.now
+            self.n_finished += 1
+            latency = job.end_time - job.submit_time
+            if self.trace is not None:
+                self.trace.publish(
+                    self.env.now, "sched.job_done",
+                    job=job.tag, tenant=job.tenant, latency=latency,
+                )
+                self.trace.publish(
+                    self.env.now, "tenant.job_latency",
+                    tenant=job.tenant, latency=latency,
+                )
+
+    # -- phase-majority switching ----------------------------------------------------
+    def _desired_pair(self, current: SchedulerPair) -> SchedulerPair:
+        live = self._live()
+        if not live:
+            return current  # idle gaps keep whatever is loaded
+        mapping = sum(1 for job in live if not job.maps_complete)
+        if mapping * 2 >= len(live):
+            return self.switch_plan.map_pair
+        return self.switch_plan.tail_pair
+
+    def _switch_monitor(self):
+        plan = self.switch_plan
+        current = self.cluster.config.initial_pair
+        last_switch: Optional[float] = None
+        while True:
+            if not self._arrivals_open and self.n_finished >= len(self.arrivals):
+                return
+            desired = self._desired_pair(current)
+            if desired != current:
+                if (last_switch is not None
+                        and self.env.now - last_switch < plan.min_dwell):
+                    yield self.env.timeout(
+                        plan.min_dwell - (self.env.now - last_switch)
+                    )
+                    continue
+                yield self.cluster.set_pair(desired)
+                current = desired
+                last_switch = self.env.now
+                continue
+            yield self._phase_sleep()

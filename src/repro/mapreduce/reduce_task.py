@@ -24,6 +24,11 @@ class ReduceTask:
 
     reducer_idx: int
     vm_id: str
+    #: Disambiguates scratch files and I/O process identity when several
+    #: jobs share a VM (``reducer_idx`` is a per-job partition index, so
+    #: it repeats across concurrent jobs).  The single-job path keeps the
+    #: default empty tag and therefore its historical names.
+    tag: str = ""
 
 
 def reduce_task_proc(ctx: "JobContext", task: "ReduceTask",
@@ -51,7 +56,7 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask",
     spec = ctx.config.spec
     cfg = ctx.config
     vm = ctx.cluster.vm(task.vm_id)
-    pid = f"red{task.reducer_idx}@{task.vm_id}"
+    pid = f"red{task.tag}{task.reducer_idx}@{task.vm_id}"
     n_reducers = ctx.shuffle.n_reducers
     n_maps = ctx.shuffle.n_maps
     queue = ctx.shuffle.queues[task.reducer_idx]
@@ -71,7 +76,7 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask",
         nonlocal mem_buffered, total_input
         with fetch_slots.request() as slot:
             yield slot
-            nbytes = desc.partition_bytes(n_reducers)
+            nbytes = desc.partition_bytes(task.reducer_idx, n_reducers)
             if nbytes > 0 and desc.file is not None:
                 offset = desc.partition_offset(task.reducer_idx, n_reducers)
                 length = int(nbytes)
@@ -110,7 +115,8 @@ def reduce_task_proc(ctx: "JobContext", task: "ReduceTask",
             return
         yield ctx.compute(vm, spec.sort_cpu_s_per_mb * amount / MB, pid)
         f = vm.create_file(
-            f"rspill_{task.reducer_idx}_{len(spills)}{suffix}", int(amount)
+            f"rspill_{task.tag}{task.reducer_idx}_{len(spills)}{suffix}",
+            int(amount)
         )
         yield from vm.write_file(f, 0, int(amount), pid)
         spills.append(f)

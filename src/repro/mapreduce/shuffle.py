@@ -24,16 +24,29 @@ class MapOutput:
     file: Optional[GuestFile]
     total_bytes: float
 
-    def partition_bytes(self, n_reducers: int) -> float:
-        """Bytes destined for each reducer (uniform partitioning)."""
-        if n_reducers <= 0:
-            raise ValueError("n_reducers must be positive")
-        return self.total_bytes / n_reducers
+    def partition_bytes(self, reducer: int, n_reducers: int) -> float:
+        """Exact bytes destined for ``reducer`` (uniform partitioning).
+
+        The extent is defined by consecutive :meth:`partition_offset`
+        values — ``offset(r+1) - offset(r)`` — with the last partition
+        taking the remainder, so the per-reducer extents tile
+        ``total_bytes`` exactly: no overlap or gap at partition
+        boundaries, and ``sum(extents) == total_bytes``.
+        """
+        offset = self.partition_offset(reducer, n_reducers)
+        if reducer == n_reducers - 1:
+            return self.total_bytes - offset
+        return self._offset(reducer + 1, n_reducers) - offset
 
     def partition_offset(self, reducer: int, n_reducers: int) -> int:
         """Byte offset of a reducer's partition within the output file."""
+        if n_reducers <= 0:
+            raise ValueError("n_reducers must be positive")
         if not 0 <= reducer < n_reducers:
             raise ValueError("reducer index out of range")
+        return self._offset(reducer, n_reducers)
+
+    def _offset(self, reducer: int, n_reducers: int) -> int:
         return int(self.total_bytes * reducer / n_reducers)
 
 

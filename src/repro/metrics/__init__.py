@@ -1,6 +1,7 @@
 """Measurement helpers: CDFs, timelines, table rendering."""
 
 from .cdf import Cdf
+from .slo import percentile, percentiles
 from .summary import format_matrix, format_series, format_table
 from .timeline import ProgressTimeline
 
@@ -10,4 +11,6 @@ __all__ = [
     "format_matrix",
     "format_series",
     "format_table",
+    "percentile",
+    "percentiles",
 ]

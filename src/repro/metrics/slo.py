@@ -1,0 +1,49 @@
+"""Deterministic SLO percentiles (nearest-rank) for latency reporting.
+
+The multi-job payloads report per-tenant p50/p95/p99 job latency.
+Nearest-rank is used deliberately: every reported percentile is an
+*observed* sample (no interpolation), so the numbers canonicalise into
+golden digests without float-interpolation jitter and stay meaningful
+at the small sample counts a simulated arrival stream produces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["percentile", "percentiles"]
+
+DEFAULT_QUANTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The nearest-rank ``q``-th percentile of ``values``.
+
+    ``q`` is in [0, 100].  The result is always one of the input
+    samples; ``q=0`` is the minimum and ``q=100`` the maximum.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = DEFAULT_QUANTILES
+) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., ...}`` for the requested quantiles.
+
+    Keys render integers without a trailing ``.0`` (``p99`` not
+    ``p99.0``) so the payload stays tidy in JSON.
+    """
+    out: Dict[str, float] = {}
+    for q in qs:
+        label = f"p{int(q)}" if float(q).is_integer() else f"p{q}"
+        out[label] = percentile(values, q)
+    return out

@@ -24,6 +24,12 @@ def format_table(
             return format(cell, floatfmt)
         return str(cell)
 
+    for idx, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"format_table: row {idx} has {len(row)} cell(s) but "
+                f"there are {len(headers)} header(s): {list(row)!r}"
+            )
     str_rows = [[fmt(c) for c in row] for row in rows]
     widths = [
         max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))

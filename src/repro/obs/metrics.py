@@ -24,6 +24,7 @@ __all__ = [
     "MetricsRegistry",
     "TraceMetrics",
     "DEFAULT_LATENCY_BUCKETS",
+    "JOB_LATENCY_BUCKETS",
     "merge_snapshots",
 ]
 
@@ -32,6 +33,12 @@ __all__ = [
 #: switch-stall convoys (~s).
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
     0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
+)
+
+#: Whole-job latency histogram edges in seconds — jobs live for tens of
+#: seconds to an hour of simulated time, far above request latencies.
+JOB_LATENCY_BUCKETS: Tuple[float, ...] = (
+    5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 3600.0,
 )
 
 
@@ -275,6 +282,17 @@ class TraceMetrics:
             reg.counter("job.reduces_finished").inc()
         elif topic == "job.done":
             reg.gauge("job.end_time").set(record.time)
+        elif topic == "sched.job_admitted":
+            reg.counter("sched.jobs_admitted", tenant=p["tenant"]).inc()
+            reg.gauge("sched.jobs_live").add(1)
+        elif topic == "sched.task_assigned":
+            reg.counter("sched.tasks_assigned", kind=p["kind"]).inc()
+        elif topic == "sched.job_done":
+            reg.counter("sched.jobs_done", tenant=p["tenant"]).inc()
+            reg.gauge("sched.jobs_live").add(-1)
+        elif topic == "tenant.job_latency":
+            reg.histogram("tenant.job_latency", buckets=JOB_LATENCY_BUCKETS,
+                          tenant=p["tenant"]).observe(p["latency"])
         elif topic == "task.retry":
             reg.counter("task.retries", kind=p.get("kind", "unknown")).inc()
         elif topic == "task.speculative":

@@ -57,6 +57,11 @@ TOPICS: Tuple[TopicSpec, ...] = (
     TopicSpec("job.shuffle_done", "last shuffle fetch finished (retrospective)"),
     TopicSpec("job.reduce_finished", "one reduce task finished"),
     TopicSpec("job.done", "job completed; simulated clock at completion"),
+    # -- multi-job scheduling / tenancy ---------------------------------------
+    TopicSpec("sched.job_admitted", "multi-job tracker admitted an arriving job"),
+    TopicSpec("sched.task_assigned", "a slot claimed a task (job/kind/vm in payload)"),
+    TopicSpec("sched.job_done", "a multiplexed job completed (latency in payload)"),
+    TopicSpec("tenant.job_latency", "per-tenant job latency sample at completion"),
     # -- recovery / speculation -----------------------------------------------
     TopicSpec("task.retry", "failed attempt re-queued (kind in payload)"),
     TopicSpec("task.speculative", "speculative backup attempt launched"),

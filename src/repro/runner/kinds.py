@@ -28,9 +28,14 @@ from ..core.chains import ChainRunner
 from ..core.experiment import JobRunner
 from ..core.online import OnlineController, OnlinePolicy
 from ..core.switch_cost import run_dd_once
+from ..hdfs.namenode import NameNode
 from ..iosched.anticipatory import AnticipatoryParams, AnticipatoryScheduler
+from ..metrics.slo import percentiles
+from ..net.topology import Topology
 from ..obs import capture
+from ..mapreduce.multijob import MultiJobTracker
 from ..mapreduce.phases import JobResult, PhaseTimes
+from ..workloads.arrivals import generate_arrivals
 from ..workloads.sysbench import SysbenchSeqWrite
 from .spec import RunSpec
 
@@ -176,6 +181,76 @@ def _run_faulty_job(config, seed: int) -> Dict[str, Any]:
     payload["faults"] = {k: result.fault_stats[k]
                          for k in sorted(result.fault_stats)}
     return payload
+
+
+def _max_concurrency(jobs) -> int:
+    """Peak number of jobs simultaneously live (submit..end overlap)."""
+    edges = []
+    for rec in jobs:
+        edges.append((rec["submit"], 1))
+        edges.append((rec["end"], -1))
+    # Ends sort before starts at the same instant: a job finishing
+    # exactly when another arrives is not concurrency.
+    edges.sort(key=lambda e: (e[0], e[1]))
+    live = peak = 0
+    for _, delta in edges:
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+@register("multi_job")
+def _run_multi_job(config, seed: int) -> Dict[str, Any]:
+    """config = MultiJobConfig.
+
+    The payload reports the cluster view (makespan, goodput, peak
+    concurrency), one record per job (sorted by job id), and per-tenant
+    SLO percentiles (nearest-rank p50/p95/p99 over job latency).
+    """
+    trace = capture.current_bus()
+    env, cluster = assemble_cluster(config.cluster, seed=seed, trace=trace)
+    topology = Topology(env)
+    namenode = NameNode(cluster, block_size=config.base_job.block_size)
+    arrivals = generate_arrivals(
+        config.arrivals, cluster.rng.stream("workload.arrivals")
+    )
+    tracker = MultiJobTracker(
+        env, cluster, topology, namenode, config.base_job, arrivals,
+        scheduler=config.scheduler,
+        map_slots_per_vm=config.map_slots_per_vm,
+        reduce_slots_per_vm=config.reduce_slots_per_vm,
+        switch_plan=config.switch_plan,
+        trace=trace,
+    )
+    proc = tracker.start()
+    env.run(until=proc)
+    result = proc.value
+
+    by_tenant: Dict[str, list] = {}
+    for rec in result.jobs:
+        by_tenant.setdefault(rec["tenant"], []).append(rec["latency"])
+    tenants = {
+        tenant: {
+            "jobs": len(latencies),
+            "mean_latency": sum(latencies) / len(latencies),
+            **percentiles(latencies),
+        }
+        for tenant, latencies in sorted(by_tenant.items())
+    }
+    span_end = max(rec["end"] for rec in result.jobs)
+    span = span_end - result.start
+    useful_bytes = sum(
+        rec["input_bytes"] + rec["reduce_output_bytes"] for rec in result.jobs
+    )
+    return {
+        "scheduler": result.scheduler,
+        "n_jobs": len(result.jobs),
+        "makespan": result.makespan,
+        "max_concurrency": _max_concurrency(result.jobs),
+        "goodput_bytes_per_s": useful_bytes / span if span > 0 else 0.0,
+        "jobs": result.jobs,
+        "tenants": tenants,
+    }
 
 
 @register("chain")

@@ -1,5 +1,13 @@
 """Workloads: the paper's Hadoop benchmarks and raw-I/O microbenchmarks."""
 
+from .arrivals import (
+    DEFAULT_SIZE_MIX,
+    ArrivalConfig,
+    JobArrival,
+    SizeClass,
+    TraceArrival,
+    generate_arrivals,
+)
 from .ddwrite import DdParallelWrite, dd_writer
 from .profiles import (
     BENCHMARKS,
@@ -11,13 +19,19 @@ from .profiles import (
 from .sysbench import SysbenchSeqWrite, sysbench_writer
 
 __all__ = [
+    "ArrivalConfig",
     "BENCHMARKS",
+    "DEFAULT_SIZE_MIX",
     "DdParallelWrite",
+    "JobArrival",
     "SORT",
+    "SizeClass",
     "SysbenchSeqWrite",
+    "TraceArrival",
     "WORDCOUNT",
     "WORDCOUNT_NO_COMBINER",
     "benchmark",
     "dd_writer",
+    "generate_arrivals",
     "sysbench_writer",
 ]

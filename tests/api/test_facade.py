@@ -215,3 +215,39 @@ def test_package_root_exports_the_facade():
     assert repro.simulate is simulate
     assert repro.sweep is sweep
     assert repro.RunResult is RunResult
+
+
+def test_multi_job_scenario_lowers_to_multi_job_kind():
+    from repro.api import MultiJobScenario
+    from repro.mapreduce.multijob import MultiJobConfig, SwitchPlan
+
+    scn = MultiJobScenario(workload="sort", scale=0.05, hosts=2,
+                           vms_per_host=2, n_jobs=3, arrival_rate=1.0)
+    spec = scn.to_spec(seed=3)
+    assert spec.kind == "multi_job"
+    assert spec.seed == 3
+    assert isinstance(spec.config, MultiJobConfig)
+    assert spec.config.cluster.hosts == 2
+    assert spec.config.arrivals.n_jobs == 3
+    # Pure lowering: equal scenarios share a cache key.
+    assert spec_key(spec) == spec_key(scn.to_spec(seed=3))
+
+    switched = scn.with_(switch=("ad", "cc"))
+    plan = switched.to_spec(0).config.switch_plan
+    assert isinstance(plan, SwitchPlan)
+    assert spec_key(switched.to_spec(0)) != spec_key(spec)
+
+
+def test_multi_job_scenario_pair_sets_initial_elevators():
+    from repro.api import MultiJobScenario
+
+    scn = MultiJobScenario(scale=0.05, hosts=2, vms_per_host=2, pair="ad")
+    cfg = scn.to_spec(0).config
+    assert cfg.cluster.initial_pair == SchedulerPair.parse("ad")
+
+
+def test_package_root_exports_multi_job_scenario():
+    import repro
+
+    assert repro.MultiJobScenario is not None
+    assert "MultiJobScenario" in repro.__all__

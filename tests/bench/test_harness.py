@@ -99,7 +99,8 @@ def test_bench_file_schema(tmp_path):
 
 def test_registry_shape():
     assert set(SCENARIOS) == {
-        "sysbench", "fig2_single_pair", "sort", "faulty_job", "scale_sweep"
+        "sysbench", "fig2_single_pair", "sort", "faulty_job", "scale_sweep",
+        "multijob",
     }
     assert GATE_SCENARIO in SCENARIOS
     for scenario in SCENARIOS.values():

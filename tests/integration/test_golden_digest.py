@@ -25,8 +25,12 @@ from repro.workloads.profiles import SORT
 #: sha256 of the canonical JSON payload of GOLDEN_SPEC, regenerate via:
 #:   PYTHONPATH=src python -c "from tests.integration.test_golden_digest \
 #:       import run_and_digest; print(run_and_digest())"
+#: Regenerated for the exact-partition-extent shuffle fix (v1.3.0): at
+#: scale 0.05 the block size (3355443 B) is not a multiple of the 8
+#: reducers, so per-reducer fetch extents legitimately shifted from
+#: int-truncated uniform reads to exact offset-difference extents.
 GOLDEN_DIGEST = (
-    "6dad6f970536c683a45480d24982e6ff5063a61d7014e69b088a825d0e0537f8"
+    "10b4b5602f71dd082a4ad5f89a4363a91cc5f22051dbdb43ea17d0c4a01f9743"
 )
 
 

@@ -1,8 +1,13 @@
 """Reduced-scale integration checks of the paper's headline shapes.
 
 The full calibrated checks run in benchmarks/ at REPRO_SCALE; these
-compact versions (scale 0.1, a 4-pair subset) guard the mechanisms that
-produce them against regressions without slowing the unit suite much.
+compact versions (scale 0.15, a 4-pair subset) guard the mechanisms
+that produce them against regressions without slowing the unit suite
+much.  Scale 0.15 is the smallest at which the anticipatory-VMM
+advantage is comfortably clear of simulation noise: at 0.1 the ac/cc
+gap is a knife edge that flips under byte-level changes to fetch
+extents (it did when partition extents became exact in v1.3.0), while
+0.15/0.2/0.25 all show the paper's ordering with a solid margin.
 """
 
 import pytest
@@ -17,7 +22,7 @@ PAIRS = {name: SchedulerPair.parse(name) for name in ("cc", "ac", "dc", "nc")}
 
 @pytest.fixture(scope="module")
 def sort_durations():
-    runner = JobRunner(scaled_testbed(SORT, scale=0.1, seeds=(0,)))
+    runner = JobRunner(scaled_testbed(SORT, scale=0.15, seeds=(0,)))
     return {
         name: runner.run_uniform(pair).mean_duration
         for name, pair in PAIRS.items()
@@ -47,7 +52,7 @@ def test_spread_is_meaningful(sort_durations):
 def test_multi_pair_plan_at_least_matches_best_single(sort_durations):
     from repro.core import Solution
 
-    runner = JobRunner(scaled_testbed(SORT, scale=0.1, seeds=(0,)))
+    runner = JobRunner(scaled_testbed(SORT, scale=0.15, seeds=(0,)))
     best_name = min(sort_durations, key=sort_durations.get)
     mixed = Solution.of([PAIRS["cc"], PAIRS[best_name]])
     if mixed.n_switches == 0:

@@ -125,3 +125,51 @@ def test_fewer_waves_means_more_nonconcurrent_shuffle():
         one_wave.phases.non_concurrent_shuffle_pct
         > many_waves.phases.non_concurrent_shuffle_pct
     )
+
+
+def _stepped_job(slowstart):
+    """Build a job, run only its t=0 setup, and return (env, job)."""
+    env = Environment()
+    cluster = VirtualCluster(env, ClusterConfig(hosts=2, vms_per_host=2,
+                                                seed=0))
+    topo = Topology(env)
+    nn = NameNode(cluster, block_size=8 * MB)
+    cfg = JobConfig(spec=SORT, bytes_per_vm=32 * MB, block_size=8 * MB,
+                    sort_buffer_bytes=12 * MB, shuffle_buffer_bytes=16 * MB,
+                    slowstart=slowstart)
+    job = MapReduceJob(env, cluster, topo, nn, cfg)
+    proc = job.start()
+    return env, job, proc
+
+
+def test_slowstart_zero_opens_reducer_gate_at_job_start():
+    # Regression: slowstart=0 used to behave like "after the first map"
+    # because of the max(1, ...) floor; zero must mean zero.
+    env, job, _ = _stepped_job(slowstart=0.0)
+    env.run(until=env.timeout(1e-9))
+    assert job.ctx.slowstart_count() == 0
+    assert job.ctx.maps_finished == 0
+    assert job.ctx.reducers_may_start.triggered
+
+
+def test_slowstart_one_gates_reducers_on_the_last_map():
+    env, job, proc = _stepped_job(slowstart=1.0)
+    assert job.ctx.slowstart_count() == job.ctx.n_maps
+    env.run(until=env.timeout(1e-9))
+    assert not job.ctx.reducers_may_start.triggered
+    env.run(until=proc)
+    assert job.ctx.reducers_may_start.triggered
+    assert proc.value.duration > 0
+
+
+def test_slowstart_boundary_runs_complete():
+    fast, *_ = run_job(SORT, slowstart=0.0)
+    slow, *_ = run_job(SORT, slowstart=1.0)
+    assert fast.n_reducers == slow.n_reducers == 8
+    # With the gate open from t=0 the shuffle fully overlaps the maps;
+    # gating on the last map serialises it, so it cannot be faster.
+    assert slow.duration >= fast.duration
+    assert (
+        slow.phases.non_concurrent_shuffle_pct
+        >= fast.phases.non_concurrent_shuffle_pct
+    )

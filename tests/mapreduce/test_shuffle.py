@@ -14,15 +14,40 @@ def output(map_id=0, vm="v0", total=320.0):
 
 def test_partitioning_uniform():
     o = output(total=320.0)
-    assert o.partition_bytes(32) == pytest.approx(10.0)
+    assert o.partition_bytes(0, 32) == pytest.approx(10.0)
     assert o.partition_offset(0, 32) == 0
     assert o.partition_offset(16, 32) == 160
+
+
+def test_partition_extents_tile_exactly():
+    # 100 bytes over 3 reducers: int-truncated offsets are 0/33/66, so
+    # the exact extents are 33/33/34 — they sum to the full output and
+    # agree with consecutive offsets (the historical uniform float 33.3
+    # did neither).
+    o = output(total=100.0)
+    extents = [o.partition_bytes(r, 3) for r in range(3)]
+    assert extents == [33, 33, 34.0]
+    assert sum(extents) == o.total_bytes
+    for r in range(2):
+        assert o.partition_offset(r, 3) + extents[r] == o.partition_offset(r + 1, 3)
+
+
+def test_partition_extents_match_offsets_for_every_reducer():
+    o = output(total=3355443.0)  # the scale-0.05 block size: non-divisible
+    n = 8
+    offsets = [o.partition_offset(r, n) for r in range(n)]
+    for r in range(n - 1):
+        assert o.partition_bytes(r, n) == offsets[r + 1] - offsets[r]
+    assert o.partition_bytes(n - 1, n) == o.total_bytes - offsets[-1]
+    assert sum(o.partition_bytes(r, n) for r in range(n)) == o.total_bytes
 
 
 def test_partition_validation():
     o = output()
     with pytest.raises(ValueError):
-        o.partition_bytes(0)
+        o.partition_bytes(0, 0)
+    with pytest.raises(ValueError):
+        o.partition_bytes(4, 4)
     with pytest.raises(ValueError):
         o.partition_offset(5, 4)
 

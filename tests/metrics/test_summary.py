@@ -1,0 +1,60 @@
+"""format_table rendering and SLO percentile helpers."""
+
+import pytest
+
+from repro.metrics import percentile, percentiles
+from repro.metrics.summary import format_table
+
+
+def test_format_table_renders_aligned_columns():
+    out = format_table(["name", "value"], [["a", 1.25], ["bb", 10.0]])
+    lines = out.splitlines()
+    assert "name" in lines[0] and "value" in lines[0]
+    assert len({len(line) for line in lines}) == 1  # rectangular
+
+
+def test_format_table_names_the_ragged_row():
+    """Regression: a short row used to crash deep in column sizing with
+    an opaque IndexError; it must name the offending row instead."""
+    with pytest.raises(ValueError, match=r"row 1 has 2 cell\(s\)"):
+        format_table(["a", "b", "c"], [[1, 2, 3], [4, 5]])
+
+
+def test_format_table_names_the_long_row_too():
+    with pytest.raises(ValueError, match="row 0 has 4"):
+        format_table(["a", "b", "c"], [[1, 2, 3, 4]])
+
+
+def test_percentile_nearest_rank():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 50.0) == 20.0
+    assert percentile(values, 95.0) == 40.0
+    assert percentile(values, 99.0) == 40.0
+    assert percentile(values, 0.0) == 10.0
+    assert percentile(values, 100.0) == 40.0
+
+
+def test_percentile_single_sample():
+    assert percentile([7.5], 50.0) == 7.5
+    assert percentile([7.5], 99.0) == 7.5
+
+
+def test_percentile_is_an_observed_sample():
+    values = [3.0, 1.0, 2.0]
+    for q in (1.0, 25.0, 50.0, 75.0, 99.0):
+        assert percentile(values, q) in values
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101.0)
+
+
+def test_percentiles_keys_and_ordering():
+    stats = percentiles([5.0, 1.0, 9.0, 3.0, 7.0])
+    assert set(stats) == {"p50", "p95", "p99"}
+    assert stats["p50"] <= stats["p95"] <= stats["p99"]
