@@ -20,7 +20,7 @@ __all__ = ["SIM_PACKAGES", "WallClockRule", "RngRoutingRule", "UnorderedIteratio
 #: streams.  The driver layers (cli, runner, bench, obs, api, metrics,
 #: experiments, analysis) may read the host clock for progress output.
 SIM_PACKAGES = frozenset({
-    "sim", "core", "disk", "iosched", "mapreduce", "virt", "hdfs",
+    "sim", "core", "ctrl", "disk", "iosched", "mapreduce", "virt", "hdfs",
     "net", "faults", "workloads",
 })
 

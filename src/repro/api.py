@@ -39,6 +39,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .core.experiment import JobRunner, TestbedConfig
 from .core.solution import Solution
+from .ctrl.config import CtrlConfig
+from .ctrl.policies import resolve_policy
 from .faults.plan import FaultPlan
 from .hdfs.namenode import NameNode
 from .mapreduce.job import MB, JobConfig, JobSpec
@@ -54,6 +56,7 @@ from .workloads import benchmark
 from .workloads.arrivals import DEFAULT_SIZE_MIX, ArrivalConfig, SizeClass
 
 __all__ = [
+    "ControlledScenario",
     "DEFAULT_SCALE",
     "JobAssembly",
     "MultiJobScenario",
@@ -460,6 +463,112 @@ class MultiJobScenario:
         )
         return RunSpec(kind="multi_job", seed=seed,
                        config=self.multi_job_config(), label=label)
+
+
+@dataclass(frozen=True)
+class ControlledScenario:
+    """A declarative online-controlled experiment (``repro.ctrl``).
+
+    Like :class:`Scenario` it is pure data with a pure ``to_spec``:
+    equal scenarios lower to equal ``controlled_job`` specs and share
+    sweep cache keys.  ``controller=None`` runs the static ``initial``
+    pair end to end — the baseline the regret oracle and the
+    metamorphic tests compare against.
+    """
+
+    workload: Union[str, JobSpec] = "sort"
+    scale: float = DEFAULT_SCALE
+    hosts: int = 4
+    vms_per_host: int = 4
+    n_phases: int = 2
+    #: Registered policy name (greedy/hysteresis/bandit) or ``None``.
+    controller: Optional[str] = None
+    #: Pair installed at job start (two-letter label).
+    initial: str = "cc"
+    #: Target pair label per phase for greedy/hysteresis (index 0 = map).
+    phase_pairs: Tuple[str, ...] = ()
+    dwell: float = 0.0
+    cost_factor: float = 1.0
+    cost_budget: float = 5.0
+    epsilon: float = 0.1
+    #: Bandit arms; ``()`` keeps the registry default.
+    arms: Tuple[str, ...] = ()
+    #: Bandit context features as ``(key, value)`` pairs.
+    features: Tuple[Tuple[str, str], ...] = ()
+    #: Learned bandit state threaded from a previous run's payload.
+    state: Tuple[Tuple[str, str, int, float], ...] = ()
+    #: Fault-injection plan; ``None`` keeps the run fault-free.
+    faults: Optional[FaultPlan] = None
+    #: Background co-tenant write volume (bytes; 0 = none).
+    interference_bytes: int = 0
+    bytes_per_vm: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        validate_scale(self.scale)
+        if self.controller is not None:
+            resolve_policy(self.controller)
+        if self.phase_pairs and len(self.phase_pairs) != self.n_phases:
+            raise ValueError(
+                f"phase_pairs has {len(self.phase_pairs)} entries, "
+                f"scenario expects {self.n_phases}"
+            )
+        self.ctrl_config()  # validates labels and knob ranges
+
+    def with_(self, **changes) -> "ControlledScenario":
+        return replace(self, **changes)
+
+    # -- lowering ------------------------------------------------------------------
+    @property
+    def job_spec(self) -> JobSpec:
+        workload = self.workload
+        return benchmark(workload) if isinstance(workload, str) else workload
+
+    def ctrl_config(self) -> CtrlConfig:
+        kwargs = dict(
+            policy=self.controller,
+            initial=self.initial,
+            phase_pairs=self.phase_pairs,
+            dwell=self.dwell,
+            cost_factor=self.cost_factor,
+            cost_budget=self.cost_budget,
+            epsilon=self.epsilon,
+            features=self.features,
+            state=self.state,
+            interference_bytes=self.interference_bytes,
+        )
+        if self.arms:
+            kwargs["arms"] = self.arms
+        return CtrlConfig(**kwargs)
+
+    def testbed(self, seeds: Sequence[int] = (0,)) -> TestbedConfig:
+        return scaled_testbed(
+            self.job_spec,
+            scale=self.scale,
+            hosts=self.hosts,
+            vms_per_host=self.vms_per_host,
+            seeds=seeds,
+            n_phases=self.n_phases,
+            bytes_per_vm=self.bytes_per_vm,
+        )
+
+    def to_spec(self, seed: int = 0) -> "RunSpec":
+        """The ``controlled_job`` :class:`~repro.runner.spec.RunSpec`
+        this scenario equals (pure: no environment reads, no clock)."""
+        # Imported here, not at module level: the runner layer imports
+        # this facade, so the facade must sit above it.
+        from .runner.spec import RunSpec
+
+        policy = self.controller or "static"
+        label = self.label or (
+            f"{self.job_spec.name} [ctrl:{policy}] seed={seed}"
+        )
+        return RunSpec(
+            kind="controlled_job", seed=seed,
+            config=(self.testbed(seeds=(seed,)), self.ctrl_config(),
+                    self.faults),
+            label=label,
+        )
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,7 @@ Usage::
     python -m repro all --scale 0.1 --seeds 0 --cache-dir /tmp/repro
     python -m repro fig8 --seeds 0 --trace-out traces/
     python -m repro report traces/ --chrome-out traces/job.chrome.json
+    python -m repro run --controller hysteresis --ctrl-cost-budget 0.5
     python -m repro bench --quick
     python -m repro lint --format json
 
@@ -83,6 +84,56 @@ def _parse_jobs(raw: str) -> int:
         raise argparse.ArgumentTypeError(f"jobs must be an int, got {raw!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {value}")
+    return value
+
+
+def _parse_policy(raw: str) -> str:
+    from .ctrl import policy_names
+
+    if raw not in policy_names():
+        raise argparse.ArgumentTypeError(
+            f"unknown controller policy {raw!r}; choose from "
+            f"{', '.join(policy_names())}"
+        )
+    return raw
+
+
+def _parse_pair(raw: str) -> str:
+    from .iosched.registry import SCHEDULER_NAMES
+    from .virt.pair import SchedulerPair
+
+    try:
+        return SchedulerPair.parse(raw).label
+    except ValueError as exc:
+        # UnknownSchedulerError subclasses ValueError, so both a bad
+        # label ('zz') and a bad long name ('bfq,cfq') land here with
+        # the registry's choices instead of a deep KeyError traceback.
+        initials = "".join(name[0] for name in SCHEDULER_NAMES)
+        raise argparse.ArgumentTypeError(
+            f"{exc}; give a two-letter label over [{initials}] "
+            f"(e.g. 'ad') or 'vmm,vm' names from {SCHEDULER_NAMES}"
+        ) from None
+
+
+def _parse_plan(raw: str) -> tuple:
+    labels = tuple(_parse_pair(part) for part in raw.split(",") if part.strip())
+    if not labels:
+        raise argparse.ArgumentTypeError(
+            f"plan {raw!r} is empty; give one pair label per phase, "
+            "e.g. --plan ad,cc"
+        )
+    return labels
+
+
+def _parse_cost(raw: str) -> float:
+    try:
+        value = float(raw)  # accepts 'inf' (= never switch)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a float (or 'inf'), got {raw!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -174,6 +225,14 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments (default 2)",
     )
     parser.add_argument(
+        "--controller",
+        type=_parse_policy,
+        default=None,
+        metavar="POLICY",
+        help="restrict controller experiments to one policy "
+        "(currently fig-ctrl; default: compare greedy/hysteresis/bandit)",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="DIR",
         default=None,
@@ -213,6 +272,132 @@ def build_report_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description="Run one job under the online adaptive controller "
+        "(repro.ctrl) and print what it detected, decided, and switched.",
+    )
+    parser.add_argument(
+        "--workload",
+        default="sort",
+        help="benchmark name (default: sort)",
+    )
+    parser.add_argument(
+        "--controller",
+        type=_parse_policy,
+        default=None,
+        metavar="POLICY",
+        help="controller policy (greedy/hysteresis/bandit); omit to run "
+        "the static --initial pair end to end",
+    )
+    parser.add_argument(
+        "--initial",
+        type=_parse_pair,
+        default=None,
+        metavar="PAIR",
+        help="pair installed at job start (default: the plan's first "
+        "entry, or 'cc' without a plan)",
+    )
+    parser.add_argument(
+        "--plan",
+        type=_parse_plan,
+        default=None,
+        metavar="PAIRS",
+        help="per-phase target pairs for greedy/hysteresis, e.g. "
+        "'ad,cc' (default: the paper's sort plan, ad then cc)",
+    )
+    parser.add_argument("--scale", type=_parse_scale, default=DEFAULT_SCALE,
+                        help="data-size scale factor in (0, 1] "
+                        f"(default {DEFAULT_SCALE} or $REPRO_SCALE)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="simulation seed (default 0)")
+    parser.add_argument("--hosts", type=_parse_jobs, default=4,
+                        help="physical hosts (default 4)")
+    parser.add_argument("--vms-per-host", type=_parse_jobs, default=4,
+                        help="VMs per host (default 4)")
+    parser.add_argument("--n-phases", type=int, choices=(2, 3), default=2,
+                        help="phases the controller divides the job into "
+                        "(default 2)")
+    parser.add_argument("--faults", choices=sorted(PRESETS), default=None,
+                        help="fault-injection preset (default: fault-free)")
+    parser.add_argument("--ctrl-dwell", type=_parse_cost, default=0.0,
+                        metavar="SECONDS",
+                        help="observation dwell after a detected boundary "
+                        "before deciding (default 0)")
+    parser.add_argument("--ctrl-cost-factor", type=_parse_cost, default=1.0,
+                        metavar="X",
+                        help="multiplier on the estimated switch cost "
+                        "('inf' = never switch; default 1.0)")
+    parser.add_argument("--ctrl-cost-budget", type=_parse_cost, default=5.0,
+                        metavar="SECONDS",
+                        help="max charged switch cost hysteresis accepts "
+                        "(default 5.0)")
+    parser.add_argument("--ctrl-epsilon", type=_parse_cost, default=0.1,
+                        metavar="EPS",
+                        help="bandit exploration rate in [0, 1] (default 0.1)")
+    parser.add_argument("--ctrl-arms", type=_parse_plan, default=None,
+                        metavar="PAIRS",
+                        help="bandit arms as pair labels, e.g. 'ad,cc' "
+                        "(default: ad,cc,dd,ac)")
+    return parser
+
+
+def run_controlled(argv: List[str]) -> int:
+    args = build_run_parser().parse_args(argv)
+    from .api import ControlledScenario
+    from .runner.kinds import execute_spec
+
+    plan = args.plan
+    if plan is None and args.controller in ("greedy", "hysteresis"):
+        # The paper's sort plan: anticipatory/deadline for the map
+        # phase, CFQ/CFQ for the tail (Table/Fig. picks).
+        plan = ("ad",) + ("cc",) * (args.n_phases - 1)
+    initial = args.initial
+    if initial is None:
+        initial = plan[0] if plan else "cc"
+    try:
+        scenario = ControlledScenario(
+            workload=args.workload,
+            scale=args.scale,
+            hosts=args.hosts,
+            vms_per_host=args.vms_per_host,
+            n_phases=args.n_phases,
+            controller=args.controller,
+            initial=initial,
+            phase_pairs=plan or (),
+            dwell=args.ctrl_dwell,
+            cost_factor=args.ctrl_cost_factor,
+            cost_budget=args.ctrl_cost_budget,
+            epsilon=args.ctrl_epsilon,
+            arms=args.ctrl_arms or (),
+            faults=None if args.faults in (None, "none")
+            else PRESETS[args.faults],
+        )
+    except ValueError as exc:
+        print(f"repro run: error: {exc}", file=sys.stderr)
+        return 2
+    payload = execute_spec(scenario.to_spec(args.seed))
+    ctrl = payload["ctrl"]
+    phases = payload["phases"]
+    print(f"workload:   {args.workload} (seed {args.seed}, "
+          f"scale {args.scale})")
+    print(f"policy:     {ctrl['policy']}")
+    print(f"plan:       {' -> '.join(ctrl['plan'])}")
+    print(f"duration:   {phases['end'] - phases['start']:.3f}s")
+    print(f"switches:   {ctrl['n_switches']} "
+          f"(stall {ctrl['switch_stall']:.3f}s)")
+    for det in ctrl["detections"]:
+        print(f"  detected {det['boundary']} at t={det['time']:.3f}s")
+    for dec in ctrl["decisions"]:
+        action = (f"switch to {dec['target']}" if dec["target"]
+                  else "hold")
+        print(f"  phase {dec['phase']}: {action} ({dec['reason']}; "
+              f"queue depth {dec['queue_depth']:.0f}, "
+              f"est cost {dec['est_cost']:.3f}s)")
+    return 0
+
+
 def _attach_obs_snapshot(result, out_dir: str, files_before: Set[str]) -> None:
     """Fold this experiment's capture artifacts into its result payload.
 
@@ -244,7 +429,8 @@ def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
             quiet: bool = False, faults: Optional[str] = None,
             trace_out: Optional[str] = None,
             arrivals: Optional[int] = None, scheduler: Optional[str] = None,
-            tenants: Optional[int] = None) -> bool:
+            tenants: Optional[int] = None,
+            controller: Optional[str] = None) -> bool:
     start = time.time()
     before = sweep.stats.snapshot()
     files_before: Set[str] = set()
@@ -263,7 +449,7 @@ def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
         else:
             kwargs["faults"] = faults
     for flag, value in (("arrivals", arrivals), ("scheduler", scheduler),
-                        ("tenants", tenants)):
+                        ("tenants", tenants), ("controller", controller)):
         if value is None:
             continue
         if flag not in params:
@@ -300,6 +486,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "report":
         return run_report(argv[1:])
+    if argv and argv[0] == "run":
+        return run_controlled(argv[1:])
     if argv and argv[0] == "bench":
         from .bench import main as bench_main
 
@@ -346,7 +534,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              trace_out=args.trace_out,
                              arrivals=args.arrivals,
                              scheduler=args.scheduler,
-                             tenants=args.tenants) and ok
+                             tenants=args.tenants,
+                             controller=args.controller) and ok
             if not args.quiet:
                 print(sweep.profile_summary(), file=sys.stderr)
     finally:

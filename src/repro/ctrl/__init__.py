@@ -1,0 +1,59 @@
+"""Online adaptive I/O control (DESIGN.md "Online adaptive control").
+
+The offline pipeline (Algorithm 1) picks a per-phase scheduler plan
+from pre-measured tables; this package closes the loop online: a
+controller subscribes to live trace topics, detects phase boundaries
+itself, and issues switches through the same per-VM/elevator machinery,
+charging the measured state-dependent switch cost.  Policies live
+behind a ``@register_policy`` registry; the regret oracle defines what
+"good" means and doubles as the test harness in ``tests/ctrl``.
+"""
+
+from .config import DEFAULT_ARMS, CtrlConfig
+from .controller import BOUNDARY_NAMES, SIGNAL_TOPICS, OnlineAdaptiveController
+from .oracle import (
+    OracleResult,
+    build_oracle,
+    enumerate_static_plans,
+    payload_duration,
+    plan_labels,
+    static_ctrl_config,
+)
+from .policies import (
+    POLICIES,
+    BanditPolicy,
+    ControllerPolicy,
+    Decision,
+    GreedyPolicy,
+    HysteresisPolicy,
+    Observation,
+    make_policy,
+    policy_names,
+    register_policy,
+    resolve_policy,
+)
+
+__all__ = [
+    "BOUNDARY_NAMES",
+    "BanditPolicy",
+    "ControllerPolicy",
+    "CtrlConfig",
+    "DEFAULT_ARMS",
+    "Decision",
+    "GreedyPolicy",
+    "HysteresisPolicy",
+    "Observation",
+    "OnlineAdaptiveController",
+    "OracleResult",
+    "POLICIES",
+    "SIGNAL_TOPICS",
+    "build_oracle",
+    "enumerate_static_plans",
+    "make_policy",
+    "payload_duration",
+    "plan_labels",
+    "policy_names",
+    "register_policy",
+    "resolve_policy",
+    "static_ctrl_config",
+]

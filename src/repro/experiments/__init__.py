@@ -17,6 +17,7 @@ from . import (
     fig7_adaptive,
     fig8_phases,
     fig9_faults,
+    fig_ctrl,
     fig_multijob,
     table1_sort,
     table2_waves,
@@ -38,6 +39,7 @@ EXPERIMENTS = {
     "fig7d": fig7_adaptive.run_cluster_scale,
     "fig8": fig8_phases.run,
     "fig9-faults": fig9_faults.run,
+    "fig-ctrl": fig_ctrl.run,
     "fig-multijob": fig_multijob.run,
     "table1": table1_sort.run,
     "table2": table2_waves.run,

@@ -19,10 +19,25 @@ __all__ = [
     "SCHEDULERS",
     "SCHEDULER_NAMES",
     "ABBREVIATIONS",
+    "UnknownSchedulerError",
     "abbrev",
     "make_scheduler",
     "resolve_name",
 ]
+
+
+class UnknownSchedulerError(KeyError, ValueError):
+    """An unregistered scheduler name.
+
+    Subclasses both ``KeyError`` (the registry's historical contract —
+    lookups raise it) and ``ValueError`` (what input-validation layers
+    like the CLI catch), so neither kind of caller needs special
+    casing.  ``str()`` returns the plain message rather than
+    ``KeyError``'s quoted repr.
+    """
+
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
 
 SCHEDULERS: Dict[str, Type[IOScheduler]] = {
     NoopScheduler.name: NoopScheduler,
@@ -57,7 +72,7 @@ def resolve_name(name: str) -> str:
     """Map a name or abbreviation (case-insensitive) to the canonical name."""
     canonical = _ALIASES.get(name.strip().lower())
     if canonical is None:
-        raise KeyError(
+        raise UnknownSchedulerError(
             f"unknown scheduler {name!r}; choose from {sorted(set(_ALIASES))}"
         )
     return canonical

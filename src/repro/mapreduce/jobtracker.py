@@ -230,7 +230,8 @@ class MapReduceJob:
             self.namenode.delete(out_path)
         output_file = self.namenode.register_file(out_path)
 
-        shuffle = ShuffleService(self.env, n_reducers, len(tasks))
+        shuffle = ShuffleService(self.env, n_reducers, len(tasks),
+                                 trace=self.trace)
         self.shuffle_done_event = shuffle.shuffle_done
         self.maps_done_event = self.env.event()
         ctx = JobContext(

@@ -11,6 +11,7 @@ from ..virt.fs import GuestFile
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.core import Environment
+    from ..sim.tracing import TraceBus
 
 __all__ = ["MapOutput", "ShuffleService"]
 
@@ -60,12 +61,14 @@ class ShuffleService:
     has fetched every partition) — the paper's Ph2/Ph3 boundary.
     """
 
-    def __init__(self, env: "Environment", n_reducers: int, n_maps: int):
+    def __init__(self, env: "Environment", n_reducers: int, n_maps: int,
+                 trace: Optional["TraceBus"] = None):
         if n_reducers <= 0 or n_maps <= 0:
             raise ValueError("reducers and maps must be positive")
         self.env = env
         self.n_reducers = n_reducers
         self.n_maps = n_maps
+        self.trace = trace
         self.queues: List[Store] = [Store(env) for _ in range(n_reducers)]
         self.registered = 0
         #: Registration-order bookkeeping list.  Retried reduce attempts
@@ -109,6 +112,15 @@ class ShuffleService:
             return
         self._fetched_pairs.add(pair)
         self.shuffled_bytes += nbytes
+        if self.trace is not None:
+            # The live residual signal (``job.shuffle_done`` is only
+            # published retrospectively): one record per *logical*
+            # fetch, ``remaining`` falling monotonically to zero.
+            self.trace.publish(
+                self.env.now, "shuffle.fetch",
+                reducer=reducer_idx, map=map_id, nbytes=nbytes,
+                remaining=self.fetches_remaining,
+            )
         if (
             len(self._fetched_pairs) >= self.n_maps * self.n_reducers
             and not self.shuffle_done.triggered

@@ -151,6 +151,13 @@ class MetricsRegistry:
             hist = self._histograms[key] = Histogram(buckets)
         return hist
 
+    def gauges(self, prefix: str) -> Dict[str, Gauge]:
+        """Live gauges whose rendered key starts with ``prefix``, keyed
+        by rendered name, in sorted order.  This is the read path the
+        online controller uses (summing ``disk.queue_depth{...}``)."""
+        return {key: self._gauges[key]
+                for key in sorted(self._gauges) if key.startswith(prefix)}
+
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-able, deterministically ordered dump of every metric."""
         return {
@@ -217,12 +224,20 @@ class TraceMetrics:
         self._pending: Dict[Tuple[str, int], float] = {}
 
     # -- wiring -------------------------------------------------------------------
-    def attach(self, bus: TraceBus) -> None:
-        for topic in self.TOPICS:
+    def attach(self, bus: TraceBus,
+               topics: Optional[Iterable[str]] = None) -> None:
+        """Subscribe to ``topics`` (default: every registered topic).
+
+        Passing a subset keeps hot-path publishes cheap when only a few
+        signals matter — e.g. the online controller folds just
+        ``disk.submit``/``disk.complete`` for queue depths.
+        """
+        for topic in (self.TOPICS if topics is None else topics):
             bus.subscribe(topic, self.handle)
 
-    def detach(self, bus: TraceBus) -> None:
-        for topic in self.TOPICS:
+    def detach(self, bus: TraceBus,
+               topics: Optional[Iterable[str]] = None) -> None:
+        for topic in (self.TOPICS if topics is None else topics):
             bus.unsubscribe(topic, self.handle)
 
     def replay(self, records: Iterable[TraceRecord]) -> "TraceMetrics":
@@ -278,6 +293,19 @@ class TraceMetrics:
             reg.gauge("job.maps_done_time").set(record.time)
         elif topic == "job.shuffle_done":
             reg.gauge("job.shuffle_done_time").set(record.time)
+        elif topic == "shuffle.fetch":
+            reg.counter("shuffle.fetches").inc()
+            reg.counter("shuffle.bytes").inc(p.get("nbytes", 0))
+            reg.gauge("shuffle.fetches_remaining").set(p.get("remaining", 0))
+        elif topic == "ctrl.phase":
+            reg.counter("ctrl.boundaries", boundary=p["boundary"]).inc()
+        elif topic == "ctrl.decision":
+            action = "hold" if p.get("target") is None else "switch"
+            reg.counter("ctrl.decisions", policy=p["policy"],
+                        action=action).inc()
+        elif topic == "ctrl.switch":
+            reg.counter("ctrl.switches").inc()
+            reg.counter("ctrl.switch_stall_seconds").inc(p["stall"])
         elif topic == "job.reduce_finished":
             reg.counter("job.reduces_finished").inc()
         elif topic == "job.done":

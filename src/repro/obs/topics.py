@@ -57,6 +57,16 @@ TOPICS: Tuple[TopicSpec, ...] = (
     TopicSpec("job.shuffle_done", "last shuffle fetch finished (retrospective)"),
     TopicSpec("job.reduce_finished", "one reduce task finished"),
     TopicSpec("job.done", "job completed; simulated clock at completion"),
+    TopicSpec("shuffle.fetch",
+              "one logical shuffle partition fetched (live residual in "
+              "``remaining``)"),
+    # -- online adaptive control (repro.ctrl) ---------------------------------
+    TopicSpec("ctrl.phase",
+              "controller detected a phase boundary from live signals"),
+    TopicSpec("ctrl.decision",
+              "controller policy decided to switch or hold at a boundary"),
+    TopicSpec("ctrl.switch",
+              "controller-issued scheduler switch completed (stall seconds)"),
     # -- multi-job scheduling / tenancy ---------------------------------------
     TopicSpec("sched.job_admitted", "multi-job tracker admitted an arriving job"),
     TopicSpec("sched.task_assigned", "a slot claimed a task (job/kind/vm in payload)"),

@@ -15,7 +15,9 @@ The registered kinds cover every simulation the experiment suite runs:
 * ``dd`` — a parallel-dd run, optionally switching pairs (fig5);
 * ``sort_custom`` — sort with mechanism knockouts (``ablation-mechanisms``);
 * ``online_sort`` — sort under the reactive controller (``ablation-online``);
-* ``faulty_job`` — a job run under a fault plan (``fig9-faults``).
+* ``faulty_job`` — a job run under a fault plan (``fig9-faults``);
+* ``controlled_job`` — a job under the online adaptive controller
+  (``fig-ctrl``), optionally with faults and background interference.
 """
 
 from __future__ import annotations
@@ -28,13 +30,21 @@ from ..core.chains import ChainRunner
 from ..core.experiment import JobRunner
 from ..core.online import OnlineController, OnlinePolicy
 from ..core.switch_cost import run_dd_once
+from ..ctrl import SIGNAL_TOPICS, OnlineAdaptiveController, make_policy
+from ..faults.injector import FaultInjector
 from ..hdfs.namenode import NameNode
 from ..iosched.anticipatory import AnticipatoryParams, AnticipatoryScheduler
 from ..metrics.slo import percentiles
 from ..net.topology import Topology
 from ..obs import capture
+from ..obs.metrics import TraceMetrics
+from ..mapreduce.jobtracker import MapReduceJob
 from ..mapreduce.multijob import MultiJobTracker
 from ..mapreduce.phases import JobResult, PhaseTimes
+from ..sim.core import Environment
+from ..sim.tracing import TraceBus
+from ..virt.cluster import VirtualCluster
+from ..virt.pair import SchedulerPair
 from ..workloads.arrivals import generate_arrivals
 from ..workloads.sysbench import SysbenchSeqWrite
 from .spec import RunSpec
@@ -180,6 +190,80 @@ def _run_faulty_job(config, seed: int) -> Dict[str, Any]:
     payload = encode_job_result(result, stall)
     payload["faults"] = {k: result.fault_stats[k]
                          for k in sorted(result.fault_stats)}
+    return payload
+
+
+@register("controlled_job")
+def _run_controlled_job(config, seed: int) -> Dict[str, Any]:
+    """config = (TestbedConfig, CtrlConfig, FaultPlan | None).
+
+    A job run with the online adaptive controller attached: the
+    controller detects phase boundaries from live trace topics and
+    switches scheduler pairs through the cluster's normal machinery.
+    ``ctrl.policy=None`` runs the static ``ctrl.initial`` pair end to
+    end (the baseline the metamorphic tests pin against).  The payload
+    is the ``job`` payload plus a ``ctrl`` sub-dict recording
+    detections, decisions, switches, and (for the bandit) learned
+    state.
+    """
+    testbed, ctrl, fault_plan = config
+    bus = capture.current_bus() or TraceBus()
+    env = Environment()
+    initial = SchedulerPair.parse(ctrl.initial)
+    cluster = VirtualCluster(
+        env,
+        testbed.cluster.with_(initial_pair=initial, seed=seed),
+        trace=bus,
+    )
+    topology = Topology(env)
+    namenode = NameNode(cluster, block_size=testbed.job.block_size,
+                        replication=testbed.job.replication)
+    job = MapReduceJob(env, cluster, topology, namenode, testbed.job,
+                       trace=bus, fault_plan=fault_plan)
+    proc = job.start()
+    if fault_plan is not None and fault_plan.is_active:
+        FaultInjector(env, cluster, fault_plan, manager=job.attempts,
+                      trace=bus, stats=job.extra_fault_stats)
+    controller = None
+    if ctrl.policy is not None:
+        metrics = TraceMetrics()
+        metrics.attach(bus, topics=SIGNAL_TOPICS)
+        policy = make_policy(ctrl, rng=cluster.rng.stream("ctrl.bandit"))
+        controller = OnlineAdaptiveController(
+            env, cluster, bus, metrics.registry, policy, ctrl,
+            n_phases=testbed.n_phases,
+        )
+    if ctrl.interference_bytes > 0:
+        # Background co-tenant write stream (the interference condition
+        # of fig-ctrl); it may still be running when the job completes.
+        SysbenchSeqWrite(env, cluster,
+                         total_bytes=ctrl.interference_bytes).start()
+    env.run(until=proc)
+    result = proc.value
+
+    stall = controller.switch_stall if controller is not None else 0.0
+    payload = encode_job_result(result, stall)
+    if fault_plan is not None:
+        payload["faults"] = {k: result.fault_stats[k]
+                             for k in sorted(result.fault_stats)}
+    if controller is not None:
+        controller.policy.learn(result.duration)
+        payload["ctrl"] = controller.report()
+        payload["ctrl"]["state"] = [
+            list(row) for row in controller.policy.export_state()
+        ]
+    else:
+        payload["ctrl"] = {
+            "policy": "static",
+            "initial": ctrl.initial,
+            "plan": [ctrl.initial] * testbed.n_phases,
+            "detections": [],
+            "decisions": [],
+            "switches": [],
+            "n_switches": 0,
+            "switch_stall": 0.0,
+            "state": [],
+        }
     return payload
 
 

@@ -1,0 +1,160 @@
+"""The regret oracle at fig2 scale: exhaustive enumeration vs policies.
+
+Static plans over {ad, cc} run as greedy-controlled jobs through the
+exact specs a policy produces (see ``static_ctrl_config``), so the
+enumerated optimum lower-bounds every policy by construction — and the
+tests below check the construction holds end to end: greedy lands on
+Algorithm 1's offline pick, and the bandit's evaluation regret can only
+shrink as training sweeps cover more arms.
+"""
+
+import pytest
+
+from repro.core.heuristic import HeuristicSearch, profile_single_pairs
+from repro.ctrl import (
+    CtrlConfig,
+    build_oracle,
+    enumerate_static_plans,
+    payload_duration,
+    plan_labels,
+    static_ctrl_config,
+)
+from repro.runner import SweepJobRunner, SweepRunner
+from repro.virt.pair import SchedulerPair
+
+from .conftest import controlled_spec, small_testbed
+
+PAIRS = ("ad", "cc")
+SEED = 0
+TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def sweep(tmp_path_factory):
+    with SweepRunner(jobs=2,
+                     cache_dir=tmp_path_factory.mktemp("oracle")) as runner:
+        yield runner
+
+
+@pytest.fixture(scope="module")
+def landscape(sweep):
+    """Every static plan over {ad, cc}, measured, plus its oracle."""
+    plans = enumerate_static_plans(
+        [SchedulerPair.parse(p) for p in PAIRS], n_phases=2
+    )
+    payloads = {
+        plan: sweep.run_spec(
+            controlled_spec(static_ctrl_config(plan), seed=SEED,
+                            label=f"static {'>'.join(plan)}")
+        )
+        for plan in plans
+    }
+    oracle = build_oracle(
+        plans, [payload_duration(payloads[plan]) for plan in plans]
+    )
+    return plans, payloads, oracle
+
+
+@pytest.fixture(scope="module")
+def offline_plan(sweep):
+    """Algorithm 1's fault-free pick over the restricted pair set."""
+    pairs = [SchedulerPair.parse(p) for p in PAIRS]
+    runner = SweepJobRunner(small_testbed(SEED), sweep, label="oracle offline")
+    runner.prefetch_uniform(pairs)
+    scores = profile_single_pairs(runner, pairs)
+    result = HeuristicSearch(runner, scores, pairs).search()
+    return tuple(plan_labels(result.solution))
+
+
+def test_enumeration_covers_every_distinct_plan(landscape):
+    plans, _, oracle = landscape
+    assert sorted(plans) == [("ad", "ad"), ("ad", "cc"),
+                             ("cc", "ad"), ("cc", "cc")]
+    assert oracle.optimum_plan in plans
+    assert all(oracle.regret(d) >= -TOL for d in oracle.durations)
+
+
+def test_optimum_lower_bounds_every_policy(sweep, landscape, offline_plan):
+    _, _, oracle = landscape
+    runs = {
+        "greedy": CtrlConfig(policy="greedy", initial=offline_plan[0],
+                             phase_pairs=offline_plan),
+        "hysteresis": CtrlConfig(policy="hysteresis",
+                                 initial=offline_plan[0],
+                                 phase_pairs=offline_plan),
+        "bandit": CtrlConfig(policy="bandit", initial=PAIRS[0],
+                             arms=PAIRS, epsilon=0.0),
+    }
+    for name, ctrl in runs.items():
+        payload = sweep.run_spec(controlled_spec(ctrl, seed=SEED,
+                                                 label=name))
+        regret = oracle.regret(payload_duration(payload))
+        assert regret >= -TOL, f"{name} beat the exhaustive optimum"
+
+
+def test_greedy_executes_algorithm1s_offline_plan(sweep, landscape,
+                                                  offline_plan):
+    plans, payloads, oracle = landscape
+    greedy = sweep.run_spec(
+        controlled_spec(
+            CtrlConfig(policy="greedy", initial=offline_plan[0],
+                       phase_pairs=offline_plan),
+            seed=SEED, label="greedy",
+        )
+    )
+    assert tuple(greedy["ctrl"]["plan"]) == offline_plan
+    # By construction the greedy config IS its static twin's config, so
+    # the trajectory (and regret) match the enumerated entry exactly.
+    assert CtrlConfig(policy="greedy", initial=offline_plan[0],
+                      phase_pairs=offline_plan) \
+        == static_ctrl_config(offline_plan)
+    assert payload_duration(greedy) == \
+        pytest.approx(payloads[offline_plan]["phases"]["end"]
+                      - payloads[offline_plan]["phases"]["start"])
+
+
+def test_bandit_eval_regret_non_increasing_over_training(sweep, landscape):
+    _, _, oracle = landscape
+    state = ()
+    regrets = []
+    for round_no in range(len(PAIRS)):
+        train = CtrlConfig(policy="bandit", initial=PAIRS[0], arms=PAIRS,
+                           epsilon=0.05, state=state)
+        out = sweep.run_spec(controlled_spec(train, seed=SEED,
+                                             label=f"train {round_no}"))
+        state = tuple(tuple(row) for row in out["ctrl"]["state"])
+        evaluate = train.with_(epsilon=0.0, state=state)
+        ev = sweep.run_spec(controlled_spec(evaluate, seed=SEED,
+                                            label=f"eval {round_no}"))
+        regrets.append(oracle.regret(payload_duration(ev)))
+    assert all(later <= earlier + TOL
+               for earlier, later in zip(regrets, regrets[1:]))
+    assert regrets[-1] >= -TOL
+
+
+# -- OracleResult bookkeeping (no simulation) ----------------------------------------
+
+
+def test_oracle_first_wins_ties_and_reports_regret():
+    oracle = build_oracle(
+        [("ad", "ad"), ("ad", "cc"), ("cc", "cc")], [5.0, 4.0, 4.0]
+    )
+    assert oracle.optimum_index == 1  # first of the tied minima
+    assert oracle.optimum_plan == ("ad", "cc")
+    assert oracle.regret(5.0) == pytest.approx(1.0)
+    rows = oracle.rows()
+    assert rows[0]["plan"] == "ad→ad"
+    assert rows[0]["regret"] == pytest.approx(1.0)
+    assert rows[1]["regret"] == pytest.approx(0.0)
+
+
+def test_oracle_rejects_misaligned_or_empty_inputs():
+    with pytest.raises(ValueError):
+        build_oracle([("ad", "ad")], [])
+    with pytest.raises(ValueError):
+        build_oracle([], [])
+
+
+def test_static_ctrl_config_requires_a_plan():
+    with pytest.raises(ValueError):
+        static_ctrl_config(())

@@ -1,0 +1,197 @@
+"""Controller properties: boundary detection, determinism, metamorphics.
+
+The load-bearing assertions are the bit-exact identities: an online
+greedy run equals the offline ``_switcher`` run of the same plan, and a
+never-switching controller equals the uncontrolled ``job`` kind.  They
+anchor everything the regret oracle assumes — a policy's trajectory for
+plan *P* IS the static run of *P*.
+"""
+
+import json
+
+import pytest
+
+from repro.core.solution import Solution
+from repro.ctrl import BOUNDARY_NAMES, CtrlConfig
+from repro.ctrl.policies import (
+    BanditPolicy,
+    GreedyPolicy,
+    HysteresisPolicy,
+    Observation,
+    make_policy,
+    policy_names,
+    resolve_policy,
+)
+from repro.runner import RunSpec, SweepRunner, execute_spec
+from repro.virt.pair import SchedulerPair
+
+from .conftest import controlled_spec, run_controlled, small_testbed
+
+GREEDY = CtrlConfig(policy="greedy", initial="ad", phase_pairs=("ad", "cc"))
+
+
+def _strip_ctrl(payload):
+    return {k: v for k, v in payload.items() if k != "ctrl"}
+
+
+def _dumps(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+# -- pure policy units (no simulation) -----------------------------------------------
+
+
+def _obs(phase=1, current="ad", est_cost=0.1):
+    return Observation(time=5.0, phase=phase, current=current,
+                       queue_depth=4.0, est_cost=est_cost)
+
+
+def test_registry_names_the_three_policies():
+    assert policy_names() == ["bandit", "greedy", "hysteresis"]
+    assert resolve_policy("greedy") is GreedyPolicy
+    with pytest.raises(ValueError) as exc:
+        resolve_policy("nope")
+    assert "'bandit', 'greedy', 'hysteresis'" in str(exc.value)
+
+
+def test_greedy_follows_the_plan_and_holds_when_it_matches():
+    policy = make_policy(GREEDY)
+    assert policy.decide(_obs(current="ad")).target == "cc"
+    assert policy.decide(_obs(current="cc")).target is None
+
+
+def test_hysteresis_holds_when_the_charged_cost_exceeds_budget():
+    config = GREEDY.with_(policy="hysteresis", cost_factor=10.0,
+                          cost_budget=0.5)
+    policy = HysteresisPolicy(config)
+    assert policy.decide(_obs(est_cost=0.04)).target == "cc"  # 0.4 <= 0.5
+    assert policy.decide(_obs(est_cost=0.06)).target is None  # 0.6 > 0.5
+
+
+def test_bandit_exploits_the_lowest_sampled_mean_when_greedy():
+    config = CtrlConfig(
+        policy="bandit", initial="ad", arms=("ad", "cc"), epsilon=0.0,
+        state=(("default", "ad", 1, 9.0), ("default", "cc", 1, 7.0)),
+    )
+    policy = BanditPolicy(config)
+    decision = policy.decide(_obs(current="ad"))
+    assert decision.target == "cc"
+    assert not decision.explore
+    # One decision per job: later boundaries hold.
+    assert policy.decide(_obs(phase=2, current="cc")).target is None
+
+
+def test_bandit_state_round_trips_through_config_rows():
+    config = CtrlConfig(policy="bandit", initial="ad", arms=("ad", "cc"),
+                        epsilon=0.0,
+                        state=(("default", "ad", 2, 8.25),))
+    policy = BanditPolicy(config)
+    policy.decide(_obs(current="cc"))
+    policy.learn(8.0)
+    rows = policy.export_state()
+    # Feeding the exported rows back yields the same values table.
+    again = BanditPolicy(config.with_(state=rows))
+    assert again._values == policy._values
+
+
+# -- boundary detection --------------------------------------------------------------
+
+
+def test_boundaries_fire_exactly_once_in_order_on_three_phases():
+    ctrl = CtrlConfig(policy="greedy", initial="ad",
+                      phase_pairs=("ad", "cc", "dd"))
+    payload = run_controlled(ctrl, n_phases=3)
+    detections = payload["ctrl"]["detections"]
+    assert [d["boundary"] for d in detections] == list(BOUNDARY_NAMES)
+    assert [d["phase"] for d in detections] == [1, 2]
+    times = [d["time"] for d in detections]
+    assert times == sorted(times) and times[0] > 0
+    assert payload["ctrl"]["plan"] == ["ad", "cc", "dd"]
+    assert payload["ctrl"]["n_switches"] == 2
+
+
+def test_two_phase_runs_detect_only_the_map_boundary():
+    payload = run_controlled(GREEDY)
+    assert [d["boundary"] for d in payload["ctrl"]["detections"]] \
+        == ["maps_done"]
+    assert payload["ctrl"]["plan"] == ["ad", "cc"]
+    assert payload["ctrl"]["n_switches"] == 1
+    assert payload["ctrl"]["switch_stall"] >= 0
+
+
+# -- determinism across execution paths ----------------------------------------------
+
+
+def test_controlled_payloads_identical_serial_parallel_cached(tmp_path):
+    specs = [controlled_spec(GREEDY, seed=seed) for seed in (0, 1, 2)]
+    with SweepRunner(jobs=1, cache_dir=tmp_path / "a") as serial:
+        res_serial = serial.run_specs(specs)
+    with SweepRunner(jobs=2, cache_dir=tmp_path / "b") as par:
+        res_parallel = par.run_specs(specs)
+    with SweepRunner(jobs=1, cache_dir=tmp_path / "a") as warm:
+        res_cached = warm.run_specs(specs)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == len(specs)
+    # Byte-identical, detections and decisions included.
+    assert _dumps(res_serial) == _dumps(res_parallel) == _dumps(res_cached)
+
+
+# -- hysteresis metamorphics ---------------------------------------------------------
+
+
+def test_inflating_the_charged_switch_cost_never_adds_switches():
+    counts = []
+    for factor in (0.0, 1.0, 1e6, float("inf")):
+        ctrl = GREEDY.with_(policy="hysteresis", cost_factor=factor)
+        counts.append(run_controlled(ctrl)["ctrl"]["n_switches"])
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] == 1  # free switching follows the plan
+    assert counts[-1] == 0  # infinite cost forbids switching outright
+
+
+def test_infinite_cost_hysteresis_is_the_static_baseline_bit_exactly():
+    frozen = run_controlled(GREEDY.with_(policy="hysteresis",
+                                         cost_factor=float("inf")))
+    static = run_controlled(CtrlConfig(policy=None, initial="ad"))
+    assert frozen["ctrl"]["n_switches"] == 0
+    assert static["ctrl"]["policy"] == "static"
+    assert _dumps(_strip_ctrl(frozen)) == _dumps(_strip_ctrl(static))
+
+
+# -- the anchor identities -----------------------------------------------------------
+
+
+def test_unconfigured_controller_matches_the_job_kind_bit_exactly():
+    testbed = small_testbed()
+    static = run_controlled(CtrlConfig(policy=None, initial="ad"))
+    solution = Solution.uniform(SchedulerPair.parse("ad"), testbed.n_phases)
+    job = execute_spec(RunSpec(kind="job", seed=0,
+                               config=(testbed, solution)))
+    assert _dumps(_strip_ctrl(static)) == _dumps(job)
+
+
+def test_online_greedy_switch_matches_the_offline_switcher_bit_exactly():
+    testbed = small_testbed()
+    greedy = run_controlled(GREEDY)
+    solution = Solution.of([SchedulerPair.parse("ad"),
+                            SchedulerPair.parse("cc")])
+    offline = execute_spec(RunSpec(kind="job", seed=0,
+                                   config=(testbed, solution)))
+    assert greedy["ctrl"]["n_switches"] == 1
+    assert _dumps(_strip_ctrl(greedy)) == _dumps(offline)
+
+
+# -- bandit state threading ----------------------------------------------------------
+
+
+def test_bandit_state_threads_between_runs_and_stays_json_able():
+    train = CtrlConfig(policy="bandit", initial="ad", arms=("ad", "cc"),
+                       epsilon=0.05)
+    first = run_controlled(train)
+    rows = tuple(tuple(row) for row in first["ctrl"]["state"])
+    assert rows, "the training run must learn something"
+    json.dumps(first)  # the whole payload survives the cache codec
+    evaluate = train.with_(epsilon=0.0, state=rows)
+    second = run_controlled(evaluate)
+    # Pure exploitation never explores.
+    assert all(not d["explore"] for d in second["ctrl"]["decisions"])

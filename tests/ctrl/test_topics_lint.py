@@ -1,0 +1,72 @@
+"""``ctrl.*`` topic registration and the TRACE001 dead-topic regression.
+
+Adding the controller's topics is a two-step change (publish + register)
+enforced by TRACE001 in both directions; these tests pin the registry
+entries, the dead-topic direction on a fixture tree, and that the real
+tree keeps linting clean with zero suppressions.
+"""
+
+from pathlib import Path
+
+from repro.analysis.core import run_lint
+from repro.obs.topics import REGISTERED_TOPICS, matching
+
+from tests.analysis.conftest import make_tree
+
+CTRL_TOPICS = ("shuffle.fetch", "ctrl.phase", "ctrl.decision", "ctrl.switch")
+
+REGISTRY = (
+    "from dataclasses import dataclass\n"
+    "@dataclass(frozen=True)\n"
+    "class TopicSpec:\n"
+    "    name: str\n"
+    "    doc: str\n"
+    "TOPICS = (\n"
+    "    TopicSpec('ctrl.phase', 'boundary detected'),\n"
+    "    TopicSpec('ctrl.switch', 'controller switched'),\n"
+    ")\n"
+)
+
+PUBLISHER = (
+    "def f(bus, t):\n"
+    "    bus.publish(t, 'ctrl.phase', phase=1)\n"
+    "    bus.publish(t, 'ctrl.switch', pair='ad')\n"
+)
+
+
+def test_controller_topics_are_registered():
+    for name in CTRL_TOPICS:
+        assert name in REGISTERED_TOPICS, name
+    assert matching("ctrl.*") == ("ctrl.phase", "ctrl.decision",
+                                  "ctrl.switch")
+
+
+def test_trace001_flags_a_registered_ctrl_topic_nobody_publishes(tmp_path):
+    root = make_tree(tmp_path, {
+        "repro/obs/topics.py": REGISTRY,
+        # Publishes ctrl.phase only: ctrl.switch is a dead entry.
+        "repro/ctrl/controller.py": (
+            "def f(bus, t):\n"
+            "    bus.publish(t, 'ctrl.phase', phase=1)\n"
+        ),
+    })
+    findings, _ = run_lint([root / "repro"], select=["TRACE001"])
+    assert len(findings) == 1
+    assert "'ctrl.switch'" in findings[0].message
+    assert "no publish site" in findings[0].message
+
+
+def test_trace001_clean_once_every_ctrl_topic_is_published(tmp_path):
+    root = make_tree(tmp_path, {
+        "repro/obs/topics.py": REGISTRY,
+        "repro/ctrl/controller.py": PUBLISHER,
+    })
+    findings, _ = run_lint([root / "repro"], select=["TRACE001"])
+    assert findings == []
+
+
+def test_real_tree_lints_clean_with_zero_suppressions():
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    findings, scanned = run_lint([src])
+    assert findings == []
+    assert scanned > 0

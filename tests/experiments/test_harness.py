@@ -16,9 +16,10 @@ def test_registry_covers_every_paper_artifact():
     }
     assert expected <= set(EXPERIMENTS)
     # Extensions are registered too.
-    assert {"ablation-mechanisms", "ablation-online", "ablation-chain"} <= set(
-        EXPERIMENTS
-    )
+    assert {
+        "ablation-mechanisms", "ablation-online", "ablation-chain",
+        "fig9-faults", "fig-multijob", "fig-ctrl",
+    } <= set(EXPERIMENTS)
 
 
 def test_shape_check_str():
