@@ -58,6 +58,7 @@ __all__ = [
     "bench_payload_digest",
     "main",
     "run_scenario",
+    "run_trace_overhead",
     "write_bench_file",
 ]
 
@@ -117,6 +118,14 @@ def _run_once(scenario: BenchScenario) -> List[Any]:
     ]
 
 
+def _median(walls: List[float]) -> float:
+    walls = sorted(walls)
+    mid = len(walls) // 2
+    if len(walls) % 2:
+        return walls[mid]
+    return (walls[mid - 1] + walls[mid]) / 2
+
+
 def run_scenario(scenario: BenchScenario, repeats: Optional[int] = None,
                  quick: bool = False) -> ScenarioTiming:
     """Time one scenario; raises :class:`BenchError` on digest drift."""
@@ -152,9 +161,7 @@ def run_scenario(scenario: BenchScenario, repeats: Optional[int] = None,
             "update the golden digest in repro/bench/scenarios.py."
         )
 
-    wall_s = sorted(walls)[len(walls) // 2] if len(walls) % 2 else (
-        sum(sorted(walls)[len(walls) // 2 - 1:len(walls) // 2 + 1]) / 2
-    )
+    wall_s = _median(walls)
     events_per_s = events / wall_s if wall_s > 0 else 0.0
     return ScenarioTiming(
         name=scenario.name,
@@ -166,6 +173,79 @@ def run_scenario(scenario: BenchScenario, repeats: Optional[int] = None,
         digest=digest,
         speedup=events_per_s / scenario.baseline.events_per_s,
     )
+
+
+def run_trace_overhead(scenario: BenchScenario,
+                       repeats: int = 3) -> Dict[str, Any]:
+    """Throughput with tracing off vs on (all topics, streamed to disk).
+
+    Runs the scenario ``repeats`` timed passes untraced and again under
+    an active capture (full topic set, artifacts streamed to a
+    throwaway directory), auditing the payload digest on both sides —
+    tracing that *changes results* is a correctness bug, not overhead.
+    Returns the measured numbers; ``traced_ratio`` is traced events/s
+    over untraced events/s (1.0 = free, 0.5 = tracing halved
+    throughput).
+    """
+    import tempfile
+
+    from ..obs import capture
+
+    if capture.config_from_env() is not None:
+        raise BenchError(
+            f"{scenario.name}: capture is already enabled; the overhead "
+            "probe needs an untraced baseline (unset REPRO_TRACE_OUT)"
+        )
+
+    def timed_walls() -> List[float]:
+        walls = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for spec in scenario.make_specs():
+                execute_spec(spec)
+            walls.append(time.perf_counter() - t0)
+        return walls
+
+    for _ in range(scenario.warmup):
+        _run_once(scenario)
+    plain_wall = _median(timed_walls())
+    start_event_census()
+    plain_digest = bench_payload_digest(_run_once(scenario))
+    events = finish_event_census()
+    if plain_digest != scenario.expected_digest:
+        raise BenchError(
+            f"{scenario.name}: untraced payload digest drifted\n"
+            f"  expected {scenario.expected_digest}\n"
+            f"  got      {plain_digest}"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+        capture.enable(tmp)
+        try:
+            traced_wall = _median(timed_walls())
+            traced_digest = bench_payload_digest(_run_once(scenario))
+        finally:
+            capture.disable()
+    if traced_digest != scenario.expected_digest:
+        raise BenchError(
+            f"{scenario.name}: tracing changed the payloads\n"
+            f"  expected {scenario.expected_digest}\n"
+            f"  got      {traced_digest}\n"
+            "Capture must be a pure side channel; a traced run that "
+            "produces different results breaks the bit-identity contract."
+        )
+
+    untraced_eps = events / plain_wall if plain_wall > 0 else 0.0
+    traced_eps = events / traced_wall if traced_wall > 0 else 0.0
+    return {
+        "scenario": scenario.name,
+        "events": events,
+        "untraced_wall_s": plain_wall,
+        "traced_wall_s": traced_wall,
+        "untraced_events_per_s": untraced_eps,
+        "traced_events_per_s": traced_eps,
+        "traced_ratio": traced_eps / untraced_eps if untraced_eps else 0.0,
+    }
 
 
 # -- output ---------------------------------------------------------------------------
@@ -280,6 +360,16 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="run one scenario under cProfile and print the cumulative-"
         "time table instead of benchmarking",
     )
+    parser.add_argument(
+        "--trace-overhead",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=f"instead of benchmarking, measure tracing overhead on the "
+        f"selected scenarios (default {GATE_SCENARIO}): fail unless "
+        "traced events/s stays at least RATIO x untraced (payload "
+        "digests are audited on both sides)",
+    )
     return parser
 
 
@@ -295,6 +385,40 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         _profile_scenario(scenario)
         return 0
+
+    if args.trace_overhead is not None:
+        names = args.scenarios or [GATE_SCENARIO]
+        unknown = [n for n in names if n not in SCENARIOS]
+        if unknown:
+            print(f"repro bench: unknown scenario(s) {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(SCENARIOS))})", file=sys.stderr)
+            return 2
+        ok = True
+        for name in names:
+            print(f"  trace-overhead {name}...", file=sys.stderr)
+            try:
+                probe = run_trace_overhead(SCENARIOS[name])
+            except BenchError as exc:
+                print(f"repro bench: FAIL: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"    untraced {probe['untraced_events_per_s']:>9.0f} ev/s  "
+                f"traced {probe['traced_events_per_s']:>9.0f} ev/s  "
+                f"ratio x{probe['traced_ratio']:.2f}",
+                file=sys.stderr,
+            )
+            if probe["traced_ratio"] < args.trace_overhead:
+                print(
+                    f"repro bench: FAIL: {name} traced throughput at "
+                    f"x{probe['traced_ratio']:.2f} of untraced, below the "
+                    f"x{args.trace_overhead:.2f} bound",
+                    file=sys.stderr,
+                )
+                ok = False
+        if ok:
+            print(f"repro bench: trace overhead ok "
+                  f"(bound x{args.trace_overhead:.2f})", file=sys.stderr)
+        return 0 if ok else 1
 
     names = args.scenarios or sorted(SCENARIOS)
     unknown = [n for n in names if n not in SCENARIOS]

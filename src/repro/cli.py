@@ -194,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress progress and timing output (tables and checks only)",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live single-line sweep progress on stderr (runs done/total, "
+        "cache and memo hits, ETA) instead of one line per finished run",
+    )
+    parser.add_argument(
         "--faults",
         choices=sorted(PRESETS),
         default=None,
@@ -268,6 +274,33 @@ def build_report_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export all records as Chrome trace-event JSON "
         "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="reconstruct the causal span tree and append per-file "
+        "critical-path + blame tables (which task/device/VM/fault owned "
+        "each second of the makespan)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the schema'd JSON report (repro.report/1) instead of "
+        "text tables; combine with --critical-path for span data",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the report (text or --json) to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--spans-out",
+        metavar="PATH",
+        default=None,
+        help="export the span tree + critical path as Chrome/Perfetto "
+        "trace-event JSON (task tracks per VM, critical-path tiles on "
+        "their own track)",
     )
     return parser
 
@@ -398,13 +431,21 @@ def run_controlled(argv: List[str]) -> int:
     return 0
 
 
-def _attach_obs_snapshot(result, out_dir: str, files_before: Set[str]) -> None:
+def _attach_obs_snapshot(result, out_dir: str, files_before: Set[str],
+                         sweep: Optional[SweepRunner] = None) -> None:
     """Fold this experiment's capture artifacts into its result payload.
 
     Behind the --trace-out flag by construction: without capture the
     payload carries no ``obs`` key at all, keeping rendered output and
     cached run payloads bit-identical to the pre-observability ones.
+    Alongside the merged metrics snapshot this attaches per-trace
+    critical-path blame summaries (so fig-ctrl/fig-multijob can render
+    *why* a plan won, not just that it did) and the sweep/cache-traffic
+    counters.
     """
+    from .obs.export import load_jsonl
+    from .obs.spans import blame_summary, critical_path
+
     try:
         names = set(os.listdir(out_dir))
     except OSError:
@@ -419,10 +460,24 @@ def _attach_obs_snapshot(result, out_dir: str, files_before: Set[str]) -> None:
                 snapshots.append(json.load(fh))
         except (OSError, ValueError):
             continue
+    traces = [n for n in fresh if n.endswith(".trace.jsonl")]
+    blame = {}
+    for name in traces:
+        try:
+            records = load_jsonl(os.path.join(out_dir, name))
+        except (OSError, ValueError):
+            continue
+        if records:
+            blame[name] = blame_summary(critical_path(records))
     result.data["obs"] = {
-        "trace_files": [n for n in fresh if n.endswith(".trace.jsonl")],
+        "trace_files": traces,
         "metrics": merge_snapshots(snapshots),
+        "critical_path": blame,
     }
+    if sweep is not None:
+        result.data["obs"]["sweep"] = sweep.profiler.snapshot(
+            sweep.cache_stats()
+        )
 
 
 def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
@@ -462,7 +517,7 @@ def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
             kwargs[flag] = value
     result = fn(**kwargs)
     if trace_out is not None:
-        _attach_obs_snapshot(result, trace_out, files_before)
+        _attach_obs_snapshot(result, trace_out, files_before, sweep=sweep)
     rendered = result.render()
     delta = sweep.stats.since(before)
     print(rendered)
@@ -474,11 +529,29 @@ def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
 
 def run_report(argv: List[str]) -> int:
     args = build_report_parser().parse_args(argv)
+    from .obs.report import ReportError, report_json
+
     try:
-        print(report_path(args.trace, chrome_out=args.chrome_out))
-    except FileNotFoundError as exc:
-        print(f"repro report: error: {exc}", file=sys.stderr)
+        if args.json:
+            doc = report_json(args.trace, critical=args.critical_path,
+                              spans_out=args.spans_out)
+            text = json.dumps(doc, sort_keys=True, indent=1)
+        else:
+            text = report_path(args.trace, chrome_out=args.chrome_out,
+                               critical=args.critical_path,
+                               spans_out=args.spans_out)
+    except (ReportError, FileNotFoundError) as exc:
+        # Named errors (MissingTraceError / EmptyTraceError) exit 2
+        # instead of surfacing a traceback.
+        print(f"repro report: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
+    if args.out is not None:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -511,13 +584,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             "run is simulated (and traced) fresh",
             file=sys.stderr,
         )
+    renderer = None
     try:
         sweep = SweepRunner(
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             use_cache=use_cache,
-            progress=None if args.quiet else progress,
+            progress=None if args.quiet or args.progress else progress,
         )
+        if args.progress and not args.quiet:
+            from .runner.telemetry import ProgressRenderer
+
+            renderer = ProgressRenderer(jobs=sweep.jobs)
+            sweep.events = renderer
     except ValueError as exc:  # e.g. a garbage $REPRO_JOBS value
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
@@ -536,9 +615,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              scheduler=args.scheduler,
                              tenants=args.tenants,
                              controller=args.controller) and ok
+            if renderer is not None:
+                renderer.close()
             if not args.quiet:
                 print(sweep.profile_summary(), file=sys.stderr)
     finally:
+        if renderer is not None:
+            renderer.close()
         if tracing:
             capture.disable()
     return 0 if ok else 1

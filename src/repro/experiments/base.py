@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["ExperimentResult", "ShapeCheck"]
+__all__ = ["ExperimentResult", "ShapeCheck", "render_obs_blame"]
 
 
 @dataclass
@@ -57,3 +57,41 @@ class ExperimentResult:
     @property
     def all_checks_pass(self) -> bool:
         return all(c.passed for c in self.checks())
+
+
+def render_obs_blame(result: ExperimentResult) -> str:
+    """Critical-path blame tables for a traced run, or ``""``.
+
+    ``repro <experiment> --trace-out DIR`` folds per-trace-file
+    :func:`repro.obs.spans.blame_summary` documents into
+    ``result.data["obs"]["critical_path"]``; renderers append this
+    section so headline numbers (regret, SLO misses) come with an
+    explanation of *where* the critical path spent its time.  Untraced
+    runs carry no ``obs`` key and render unchanged.
+    """
+    obs = result.data.get("obs") or {}
+    blame = obs.get("critical_path") or {}
+    if not blame:
+        return ""
+    # Imported lazily: experiments must stay loadable without pulling
+    # the observability stack in at module-import time.
+    from ..metrics.summary import format_table
+    from ..obs.spans import blame_rows
+
+    parts = []
+    for name in sorted(blame):
+        summary = blame[name]
+        parts.append(format_table(
+            ["phase", "dur s", "task", "fault", "switch", "idle",
+             "io wait", "service"],
+            blame_rows(summary),
+            title=f"critical-path blame: {name}",
+            floatfmt=".3f",
+        ))
+        owners = ", ".join(
+            f"{o['owner']} ({o['seconds']:.3f}s)"
+            for o in summary.get("top_owners", [])
+        )
+        if owners:
+            parts.append(f"top owners: {owners}")
+    return "\n\n".join(parts)

@@ -37,7 +37,7 @@ from ..metrics.summary import format_table
 from ..runner import RunSpec, SweepJobRunner, SweepRunner, default_runner
 from ..virt.pair import SchedulerPair
 from ..workloads.profiles import SORT
-from .base import ExperimentResult, ShapeCheck
+from .base import ExperimentResult, ShapeCheck, render_obs_blame
 from ..api import DEFAULT_SCALE, scaled_testbed
 
 __all__ = ["run", "CTRL_PAIRS", "DEFAULT_POLICIES"]
@@ -201,7 +201,7 @@ def _render(result: ExperimentResult) -> str:
         for pol, out in cond["policies"].items():
             rows.append([name, pol, "→".join(out["plan"]), out["duration"],
                          out["regret"], str(out["switches"])])
-    return format_table(
+    table = format_table(
         ["condition", "policy", "plan", "duration", "regret", "switches"],
         rows,
         title=(f"regret vs. exhaustive enumeration over "
@@ -209,6 +209,8 @@ def _render(result: ExperimentResult) -> str:
                f"(offline plan: {'→'.join(result.data['offline_plan'])}, "
                f"scale={result.data['scale']})"),
     )
+    blame = render_obs_blame(result)
+    return table + ("\n\n" + blame if blame else "")
 
 
 def _check(result: ExperimentResult) -> List[ShapeCheck]:

@@ -28,7 +28,7 @@ from ..api import DEFAULT_SCALE, MultiJobScenario
 from ..mapreduce.multijob import JOB_SCHEDULERS
 from ..metrics.summary import format_table
 from ..runner import SweepRunner, default_runner
-from .base import ExperimentResult, ShapeCheck
+from .base import ExperimentResult, ShapeCheck, render_obs_blame
 
 __all__ = ["run", "PLANS", "DEFAULT_SCHEDULERS"]
 
@@ -167,6 +167,9 @@ def _render(result: ExperimentResult) -> str:
         f"peak concurrency (reference run): "
         f"{reference['max_concurrency']} of {reference['n_jobs']} jobs"
     )
+    blame = render_obs_blame(result)
+    if blame:
+        parts.append(blame)
     return "\n\n".join(parts)
 
 

@@ -12,6 +12,10 @@ Four concerns, one package:
   ``--trace-out`` flips, propagated to worker processes via the
   environment;
 * :mod:`repro.obs.report` — the ``repro report`` renderer;
+* :mod:`repro.obs.spans` — causal span reconstruction, critical-path
+  extraction, and blame attribution over captured trace records;
+* :mod:`repro.obs.spill` — the windowed, memory-bounded JSONL writer
+  streaming captures use;
 * :mod:`repro.obs.topics` — the machine-readable trace-topic registry
   (the single source of truth ``repro lint``'s TRACE001 rule enforces).
 
@@ -37,31 +41,60 @@ from .metrics import (
     merge_snapshots,
 )
 from .profile import BatchProfile, SweepProfiler
-from .report import render_report, report_path
-from .topics import REGISTERED_TOPICS, TOPIC_NAMES, TOPICS, TopicSpec
+from .report import (
+    EmptyTraceError,
+    MissingTraceError,
+    ReportError,
+    render_report,
+    report_json,
+    report_path,
+)
+from .spans import (
+    Segment,
+    Span,
+    assign_records,
+    blame_summary,
+    build_span_tree,
+    critical_path,
+    write_span_trace,
+)
+from .spill import TraceSpiller
+from .topics import REGISTERED_TOPICS, TOPIC_NAMES, TOPICS, TopicSpec, span_hint
 
 __all__ = [
     "BatchProfile",
     "CaptureConfig",
     "Counter",
+    "EmptyTraceError",
     "Gauge",
     "Histogram",
     "JsonlTraceWriter",
     "MetricsRegistry",
+    "MissingTraceError",
     "REGISTERED_TOPICS",
+    "ReportError",
     "RunCapture",
+    "Segment",
+    "Span",
     "SweepProfiler",
     "TOPICS",
     "TOPIC_NAMES",
     "TopicFilter",
     "TopicSpec",
     "TraceMetrics",
+    "TraceSpiller",
+    "assign_records",
+    "blame_summary",
+    "build_span_tree",
     "config_from_env",
+    "critical_path",
     "current_bus",
     "load_jsonl",
     "merge_snapshots",
     "render_report",
+    "report_json",
     "report_path",
+    "span_hint",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

@@ -103,8 +103,11 @@ class SweepProfiler:
             f"utilization {100 * self.worker_utilization():.0f}%",
         ]
         if cache_stats:
-            lines.append(
+            line = (
                 "profile: cache hits {hits}, misses {misses}, "
                 "read {bytes_read} B, wrote {bytes_written} B".format(**cache_stats)
             )
+            if cache_stats.get("bypassed"):
+                line += ", bypassed {bypassed}".format(**cache_stats)
+            lines.append(line)
         return "\n".join(lines)

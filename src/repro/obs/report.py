@@ -17,17 +17,45 @@ from ..metrics.summary import format_table
 from ..sim.tracing import TraceRecord
 from .export import load_jsonl, write_chrome_trace
 from .metrics import TraceMetrics
+from .spans import (blame_rows, blame_summary, critical_path,
+                    critical_path_rows, write_span_trace)
 
 __all__ = [
+    "ReportError",
+    "MissingTraceError",
+    "EmptyTraceError",
     "trace_files",
     "phase_durations",
     "device_rows",
+    "device_dicts",
     "render_timeline",
     "render_report",
+    "render_critical_path",
+    "report_json",
     "report_path",
+    "REPORT_SCHEMA",
 ]
 
 _LABEL_RE = re.compile(r"\{([^}]*)\}")
+
+#: Version tag stamped on every ``repro report --json`` document.
+REPORT_SCHEMA = "repro.report/1"
+
+
+class ReportError(RuntimeError):
+    """Base class for named report failures (the CLI exits 2 on these)."""
+
+
+class MissingTraceError(ReportError, FileNotFoundError):
+    """The report argument names no trace files.
+
+    Also a :class:`FileNotFoundError` so callers that predate the named
+    hierarchy keep working.
+    """
+
+
+class EmptyTraceError(ReportError):
+    """The named trace files exist but hold zero records."""
 
 
 def trace_files(path: Path | str) -> List[Path]:
@@ -35,6 +63,7 @@ def trace_files(path: Path | str) -> List[Path]:
 
     A file is reported alone; a directory means every ``*.trace.jsonl``
     (or bare ``*.jsonl``) inside it, sorted by name for stable output.
+    Raises :class:`MissingTraceError` when nothing matches.
     """
     path = Path(path)
     if path.is_file():
@@ -43,8 +72,8 @@ def trace_files(path: Path | str) -> List[Path]:
         found = sorted(path.glob("*.trace.jsonl")) or sorted(path.glob("*.jsonl"))
         if found:
             return found
-        raise FileNotFoundError(f"no .jsonl trace files in {path}")
-    raise FileNotFoundError(f"no such trace file or directory: {path}")
+        raise MissingTraceError(f"no .jsonl trace files in {path}")
+    raise MissingTraceError(f"no such trace file or directory: {path}")
 
 
 def phase_durations(records: Sequence[TraceRecord]) -> Dict[str, Tuple[float, float]]:
@@ -82,6 +111,17 @@ def _labelled(metrics: Dict[str, Any], prefix: str) -> Dict[str, Any]:
             label = match.group(1).split("=", 1)[1]
             out[label] = value
     return out
+
+
+#: Column names for :func:`device_rows`, shared by the text table and
+#: the JSON emitter so the two never drift.
+DEVICE_FIELDS = ("device", "submitted", "completed", "merged", "mb",
+                 "max_depth", "mean_latency_ms", "switch_stall_s")
+
+
+def device_dicts(snapshot: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per-device I/O rows as JSON objects (``repro report --json``)."""
+    return [dict(zip(DEVICE_FIELDS, row)) for row in device_rows(snapshot)]
 
 
 def device_rows(snapshot: Dict[str, Any]) -> List[List[Any]]:
@@ -173,9 +213,105 @@ def render_report(records: Sequence[TraceRecord], title: str = "") -> str:
     return "\n\n".join(parts)
 
 
-def report_path(path: Path | str, chrome_out: Optional[Path | str] = None) -> str:
-    """Report every trace file under ``path``; optionally write a merged
-    Chrome trace of all their records to ``chrome_out``."""
+def render_critical_path(records: Sequence[TraceRecord]) -> str:
+    """Critical-path and blame tables for one run's records."""
+    segments = critical_path(records)
+    if not segments:
+        return "(no critical path: the trace has no timed records)"
+    summary = blame_summary(segments)
+    parts = [format_table(
+        ["phase", "owner", "kind", "start s", "end s", "dur s", "vm",
+         "device", "io wait s", "service s"],
+        critical_path_rows(segments),
+        title="critical path",
+        floatfmt=".3f",
+    )]
+    parts.append(format_table(
+        ["phase", "dur s", "task", "fault", "switch", "idle", "io wait",
+         "service"],
+        blame_rows(summary),
+        title="per-phase blame (critical-path seconds)",
+        floatfmt=".3f",
+    ))
+    culprits = ", ".join(
+        f"{o['owner']} ({o['seconds']:.3f}s)" for o in summary["top_owners"]
+    )
+    parts.append(
+        f"critical path: {summary['segments']} segments summing to "
+        f"{summary['makespan']:.3f}s"
+        + (f"; top owners: {culprits}" if culprits else "")
+    )
+    return "\n\n".join(parts)
+
+
+def _segment_dicts(segments) -> List[Dict[str, Any]]:
+    return [{
+        "phase": seg.phase, "owner": seg.owner, "kind": seg.kind,
+        "start": seg.start, "end": seg.end, "duration": seg.duration,
+        "vm": seg.vm, "device": seg.device, "io_wait": seg.io_wait,
+        "service": seg.service,
+    } for seg in segments]
+
+
+def report_json(path: Path | str, critical: bool = False,
+                spans_out: Optional[Path | str] = None) -> Dict[str, Any]:
+    """The machine-readable report document (``repro report --json``).
+
+    Schema (``repro.report/1``): ``{"schema", "files": [{"file",
+    "records", "phases", "devices", "counters"[, "critical_path"]}]}``
+    with phases as ``{name: {start, end, duration}}``, devices as
+    :func:`device_dicts` rows, and ``critical_path`` (on request) as
+    ``{"segments": [...], "blame": blame_summary}``.  Raises
+    :class:`MissingTraceError`/:class:`EmptyTraceError` instead of
+    reporting on nothing.
+    """
+    files = trace_files(path)
+    doc: Dict[str, Any] = {"schema": REPORT_SCHEMA, "files": []}
+    total = 0
+    all_records: List[TraceRecord] = []
+    for file in files:
+        records = load_jsonl(file)
+        all_records.extend(records)
+        total += len(records)
+        snapshot = TraceMetrics().replay(records).registry.snapshot()
+        entry: Dict[str, Any] = {
+            "file": file.name,
+            "records": len(records),
+            "phases": {
+                name: {"start": s, "end": e, "duration": e - s}
+                for name, (s, e) in phase_durations(records).items()
+            },
+            "devices": device_dicts(snapshot),
+            "counters": snapshot.get("counters", {}),
+        }
+        if critical:
+            segments = critical_path(records)
+            entry["critical_path"] = {
+                "segments": _segment_dicts(segments),
+                "blame": blame_summary(segments),
+            }
+        doc["files"].append(entry)
+    if total == 0:
+        raise EmptyTraceError(
+            f"trace files under {path} contain no records "
+            "(was the run traced with a too-narrow --trace-topics?)"
+        )
+    if spans_out is not None:
+        write_span_trace(all_records, spans_out)
+    return doc
+
+
+def report_path(path: Path | str, chrome_out: Optional[Path | str] = None,
+                critical: bool = False,
+                spans_out: Optional[Path | str] = None) -> str:
+    """Report every trace file under ``path``.
+
+    ``critical`` appends the critical-path/blame tables per file;
+    ``chrome_out`` writes a merged Chrome trace of all records;
+    ``spans_out`` writes the merged span-tree/critical-path Perfetto
+    export.  Raises :class:`EmptyTraceError` when the files hold no
+    records at all.
+    """
     files = trace_files(path)
     sections = []
     all_records: List[TraceRecord] = []
@@ -183,7 +319,17 @@ def report_path(path: Path | str, chrome_out: Optional[Path | str] = None) -> st
         records = load_jsonl(file)
         all_records.extend(records)
         sections.append(render_report(records, title=file.name))
+        if critical and records:
+            sections.append(render_critical_path(records))
+    if not all_records:
+        raise EmptyTraceError(
+            f"trace files under {path} contain no records "
+            "(was the run traced with a too-narrow --trace-topics?)"
+        )
     if chrome_out is not None:
         n = write_chrome_trace(all_records, chrome_out)
         sections.append(f"wrote {n} Chrome trace events to {chrome_out}")
+    if spans_out is not None:
+        n = write_span_trace(all_records, spans_out)
+        sections.append(f"wrote {n} span trace events to {spans_out}")
     return "\n\n".join(sections)

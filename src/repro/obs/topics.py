@@ -26,6 +26,7 @@ __all__ = [
     "REGISTERED_TOPICS",
     "is_registered",
     "matching",
+    "span_hint",
 ]
 
 
@@ -37,50 +38,66 @@ class TopicSpec:
     name: str
     #: What one record on this topic means.
     doc: str
+    #: Routing hint for causal-span reconstruction
+    #: (:mod:`repro.obs.spans`): which span layer owns records on this
+    #: topic.  One of ``"request"`` (per-rid block I/O), ``"task"``
+    #: (per-process attempt), ``"job"`` (lifecycle/control), ``"fault"``
+    #: (injected fault interval), ``"switch"`` (elevator switch stall).
+    span: str = "job"
 
 
 TOPICS: Tuple[TopicSpec, ...] = (
     # -- disk layer (per-device; payloads carry a ``device`` label) -----------
-    TopicSpec("disk.submit", "request accepted into a device queue"),
-    TopicSpec("disk.complete", "request (plus any merged rids) left the device"),
-    TopicSpec("disk.service", "per-request seek/rotation/transfer time split"),
-    TopicSpec("disk.switched", "elevator switch finished on a device (stall seconds)"),
+    TopicSpec("disk.submit", "request accepted into a device queue",
+              span="request"),
+    TopicSpec("disk.complete", "request (plus any merged rids) left the device",
+              span="request"),
+    TopicSpec("disk.service", "per-request seek/rotation/transfer time split",
+              span="request"),
+    TopicSpec("disk.switched", "elevator switch finished on a device (stall seconds)",
+              span="switch"),
     # -- guest filesystem (per-VM) --------------------------------------------
-    TopicSpec("fs.read", "guest filesystem read completed"),
-    TopicSpec("fs.write", "guest filesystem write completed"),
+    TopicSpec("fs.read", "guest filesystem read completed", span="task"),
+    TopicSpec("fs.write", "guest filesystem write completed", span="task"),
     # -- cluster / scheduler control ------------------------------------------
     TopicSpec("cluster.set_pair", "cluster applied a (VMM, VM) scheduler pair"),
     # -- MapReduce job lifecycle ----------------------------------------------
     TopicSpec("job.start", "job accepted; simulated clock at submission"),
-    TopicSpec("job.map_finished", "one map task finished (done/total in payload)"),
+    TopicSpec("job.map_finished", "one map task finished (done/total in payload)",
+              span="task"),
     TopicSpec("job.maps_done", "last map task finished"),
     TopicSpec("job.shuffle_done", "last shuffle fetch finished (retrospective)"),
-    TopicSpec("job.reduce_finished", "one reduce task finished"),
+    TopicSpec("job.reduce_finished", "one reduce task finished", span="task"),
     TopicSpec("job.done", "job completed; simulated clock at completion"),
     TopicSpec("shuffle.fetch",
               "one logical shuffle partition fetched (live residual in "
-              "``remaining``)"),
+              "``remaining``)", span="task"),
     # -- online adaptive control (repro.ctrl) ---------------------------------
     TopicSpec("ctrl.phase",
               "controller detected a phase boundary from live signals"),
     TopicSpec("ctrl.decision",
               "controller policy decided to switch or hold at a boundary"),
     TopicSpec("ctrl.switch",
-              "controller-issued scheduler switch completed (stall seconds)"),
+              "controller-issued scheduler switch completed (stall seconds)",
+              span="switch"),
     # -- multi-job scheduling / tenancy ---------------------------------------
     TopicSpec("sched.job_admitted", "multi-job tracker admitted an arriving job"),
     TopicSpec("sched.task_assigned", "a slot claimed a task (job/kind/vm in payload)"),
     TopicSpec("sched.job_done", "a multiplexed job completed (latency in payload)"),
     TopicSpec("tenant.job_latency", "per-tenant job latency sample at completion"),
     # -- recovery / speculation -----------------------------------------------
-    TopicSpec("task.retry", "failed attempt re-queued (kind in payload)"),
-    TopicSpec("task.speculative", "speculative backup attempt launched"),
+    TopicSpec("task.retry", "failed attempt re-queued (kind in payload)",
+              span="task"),
+    TopicSpec("task.speculative", "speculative backup attempt launched",
+              span="task"),
     # -- fault injection ------------------------------------------------------
-    TopicSpec("fault.disk_slow", "disk slow-down fault began on a host"),
-    TopicSpec("fault.disk_recover", "disk slow-down fault ended"),
-    TopicSpec("fault.vm_pause", "VM administratively paused"),
-    TopicSpec("fault.vm_resume", "paused VM resumed"),
-    TopicSpec("fault.vm_crash", "VM crashed (permanently, for the run)"),
+    TopicSpec("fault.disk_slow", "disk slow-down fault began on a host",
+              span="fault"),
+    TopicSpec("fault.disk_recover", "disk slow-down fault ended", span="fault"),
+    TopicSpec("fault.vm_pause", "VM administratively paused", span="fault"),
+    TopicSpec("fault.vm_resume", "paused VM resumed", span="fault"),
+    TopicSpec("fault.vm_crash", "VM crashed (permanently, for the run)",
+              span="fault"),
 )
 
 #: Topic names in registry order (what ``TraceMetrics`` subscribes to).
@@ -90,9 +107,18 @@ TOPIC_NAMES: Tuple[str, ...] = tuple(spec.name for spec in TOPICS)
 REGISTERED_TOPICS = frozenset(TOPIC_NAMES)
 
 
+_SPAN_BY_NAME = {spec.name: spec.span for spec in TOPICS}
+
+
 def is_registered(topic: str) -> bool:
     """True when ``topic`` is an exact registered topic name."""
     return topic in REGISTERED_TOPICS
+
+
+def span_hint(topic: str) -> str:
+    """The span layer owning records on ``topic`` (``"job"`` when the
+    topic is unregistered — lifecycle is the catch-all owner)."""
+    return _SPAN_BY_NAME.get(topic, "job")
 
 
 def matching(pattern: str) -> Tuple[str, ...]:

@@ -18,19 +18,24 @@ from .sweep import (
     default_runner,
     set_default_runner,
 )
+from .telemetry import EVENT_KINDS, ProgressRenderer, SweepEvent, describe_spec
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "EVENT_KINDS",
     "KINDS",
+    "ProgressRenderer",
     "ResultCache",
     "RunSpec",
     "SweepChainRunner",
+    "SweepEvent",
     "SweepJobRunner",
     "SweepRunner",
     "SweepStats",
     "canonical",
     "default_jobs",
     "default_runner",
+    "describe_spec",
     "execute_spec",
     "register",
     "set_default_runner",

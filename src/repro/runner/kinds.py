@@ -90,7 +90,7 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
     cfg = capture.config_from_env()
     if cfg is None:
         return fn(spec.config, spec.seed)
-    with capture.RunCapture(cfg) as cap:
+    with capture.RunCapture(cfg, spec=spec) as cap:
         payload = fn(spec.config, spec.seed)
     cap.finish(spec)
     return payload

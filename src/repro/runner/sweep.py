@@ -31,6 +31,7 @@ from ..obs.profile import BatchProfile, SweepProfiler
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .kinds import execute_spec
 from .spec import RunSpec, spec_key
+from .telemetry import SweepEvent, describe_spec
 
 __all__ = [
     "SweepRunner",
@@ -68,10 +69,15 @@ class SweepStats:
     #: Wall-clock seconds spent inside executed simulations (summed
     #: across workers, so it can exceed elapsed time under parallelism).
     run_seconds: float = 0.0
+    #: Simulations executed with the on-disk cache disabled (results
+    #: not persisted) — e.g. ``--no-cache`` or the ``--trace-out``
+    #: cache bypass.
+    bypassed: int = 0
 
     def snapshot(self) -> "SweepStats":
         return SweepStats(
-            self.executed, self.cache_hits, self.memo_hits, self.run_seconds
+            self.executed, self.cache_hits, self.memo_hits,
+            self.run_seconds, self.bypassed,
         )
 
     def since(self, other: "SweepStats") -> "SweepStats":
@@ -80,13 +86,17 @@ class SweepStats:
             self.cache_hits - other.cache_hits,
             self.memo_hits - other.memo_hits,
             self.run_seconds - other.run_seconds,
+            self.bypassed - other.bypassed,
         )
 
     def summary(self) -> str:
-        return (
+        line = (
             f"simulations executed {self.executed}, "
             f"cache hits {self.cache_hits}, memo hits {self.memo_hits}"
         )
+        if self.bypassed:
+            line += f", cache bypassed {self.bypassed}"
+        return line
 
 
 def _timed_execute(spec: RunSpec) -> Tuple[str, float]:
@@ -110,6 +120,7 @@ class SweepRunner:
         cache_dir: os.PathLike | str = DEFAULT_CACHE_DIR,
         use_cache: bool = True,
         progress: Optional[Callable[[RunSpec, float], None]] = None,
+        events: Optional[Callable[[SweepEvent], None]] = None,
     ):
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
@@ -119,6 +130,9 @@ class SweepRunner:
         )
         #: Called as ``progress(spec, seconds)`` after each executed run.
         self.progress = progress
+        #: Live telemetry stream (see :mod:`repro.runner.telemetry`):
+        #: one :class:`SweepEvent` per lookup outcome and run edge.
+        self.events = events
         self.stats = SweepStats()
         #: Wall-clock profiling of every run_specs batch (repro.obs).
         self.profiler = SweepProfiler(jobs=self.jobs)
@@ -142,11 +156,36 @@ class SweepRunner:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
+    def cache_stats(self) -> Dict[str, Any]:
+        """Disk-cache traffic counters plus the runner's bypass count.
+
+        ``hits``/``misses``/``bytes_read``/``bytes_written`` come from
+        :class:`ResultCache` (zeros when the cache is disabled);
+        ``bypassed`` counts simulations that ran with the cache off.
+        This is what ``--trace-out`` folds into payload metadata and
+        what the profiler summary prints.
+        """
+        stats: Dict[str, Any] = (
+            dict(self.cache.stats()) if self.cache is not None
+            else {"hits": 0, "misses": 0, "bytes_read": 0, "bytes_written": 0}
+        )
+        stats["bypassed"] = self.stats.bypassed
+        return stats
+
     def profile_summary(self) -> str:
         """Human-readable profiling report (stage timings, utilization,
         cache traffic) for everything this runner has executed so far."""
-        cache_stats = self.cache.stats() if self.cache is not None else None
-        return self.profiler.summary(cache_stats)
+        return self.profiler.summary(self.cache_stats())
+
+    def _emit(self, kind: str, spec: Optional[RunSpec] = None, key: str = "",
+              seconds: float = 0.0, completed: int = 0,
+              pending: int = 0) -> None:
+        if self.events is None:
+            return
+        self.events(SweepEvent(
+            kind=kind, label=describe_spec(spec) if spec is not None else "",
+            key=key, seconds=seconds, completed=completed, pending=pending,
+        ))
 
     # -- execution ------------------------------------------------------------------
     def run_spec(self, spec: RunSpec) -> Any:
@@ -164,6 +203,7 @@ class SweepRunner:
             if key in self._memo:
                 results[i] = self._memo[key]
                 self.stats.memo_hits += 1
+                self._emit("memo_hit", spec, key)
                 continue
             if self.cache is not None:
                 record = self.cache.get(key)
@@ -171,13 +211,16 @@ class SweepRunner:
                     self._memo[key] = record["result"]
                     results[i] = record["result"]
                     self.stats.cache_hits += 1
+                    self._emit("cache_hit", spec, key)
                     continue
             # Duplicate keys inside one batch simulate once.
             missing.setdefault(key, spec)
 
         t_lookup = time.perf_counter()
         if missing:
+            self._emit("batch_started", pending=len(missing))
             self._execute_missing(missing)
+            self._emit("batch_finished", completed=len(missing))
             for i, key in enumerate(keys):
                 if results[i] is None and key in self._memo:
                     results[i] = self._memo[key]
@@ -195,15 +238,19 @@ class SweepRunner:
 
     # -- internals ------------------------------------------------------------------
     def _execute_missing(self, missing: Dict[str, RunSpec]) -> None:
+        self._batch_total = len(missing)
+        self._batch_done = 0
         if self.jobs == 1 or len(missing) == 1:
             for key, spec in missing.items():
+                self._emit("run_started", spec, key,
+                           pending=self._batch_total - self._batch_done)
                 self._record(key, spec, *_timed_execute(spec))
             return
         pool = self._ensure_pool()
-        futures = {
-            pool.submit(_timed_execute, spec): (key, spec)
-            for key, spec in missing.items()
-        }
+        futures = {}
+        for key, spec in missing.items():
+            futures[pool.submit(_timed_execute, spec)] = (key, spec)
+            self._emit("run_started", spec, key, pending=len(missing))
         pending = set(futures)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -229,8 +276,15 @@ class SweepRunner:
                 "seconds": seconds,
                 "result": payload,
             })
+        else:
+            self.stats.bypassed += 1
         self.stats.executed += 1
         self.stats.run_seconds += seconds
+        self._batch_done = getattr(self, "_batch_done", 0) + 1
+        total = getattr(self, "_batch_total", self._batch_done)
+        self._emit("run_finished", spec, key, seconds=seconds,
+                   completed=self._batch_done,
+                   pending=max(0, total - self._batch_done))
         if self.progress is not None:
             self.progress(spec, seconds)
 

@@ -50,6 +50,12 @@ class TraceBus:
         #: Prefixes registered via ``record_topic("family.*")``.
         self._recorded_prefixes: List[str] = []
         self._record_all = False
+        #: Streaming consumers of *recorded* records (see :meth:`add_sink`).
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+        #: When ``False``, matched records are delivered to sinks only and
+        #: never accumulate in :attr:`records` — the memory-bounded mode
+        #: the capture spiller runs in.
+        self.retain_records = True
         self.records: List[TraceRecord] = []
         #: Per-topic view of ``records`` so ``recorded(topic)`` does not
         #: rescan every record ever published.
@@ -106,6 +112,24 @@ class TraceBus:
             self._recorded_topics.add(topic)
         self._keep_cache.clear()
 
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Stream every record matched by the recorded-topic config to
+        ``sink``, in publication order.
+
+        Sinks see exactly the records :attr:`records` would have kept —
+        same topic filter, same order — which is what lets a disk
+        spiller replace in-memory buffering byte-for-byte.  Setting
+        :attr:`retain_records` to ``False`` alongside makes the bus
+        itself O(1) in run length.
+        """
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            raise KeyError("sink not attached to this bus") from None
+
     def _should_record(self, topic: str) -> bool:
         if self._record_all or topic in self._recorded_topics:
             return True
@@ -140,8 +164,11 @@ class TraceBus:
             return
         record = TraceRecord(time, topic, payload)
         if keep:
-            self.records.append(record)
-            self._by_topic[topic].append(record)
+            if self.retain_records:
+                self.records.append(record)
+                self._by_topic[topic].append(record)
+            for sink in self._sinks:
+                sink(record)
         if subs:
             # Iterate a snapshot so callbacks may subscribe/unsubscribe
             # (previously this crashed with "list modified during

@@ -130,3 +130,39 @@ def test_cli_bench_unknown_scenario():
 
     assert main(["bench", "nope"]) == 2
     assert main(["bench", "--profile", "nope"]) == 2
+
+
+def test_run_trace_overhead_audits_both_sides():
+    from repro.bench.harness import run_trace_overhead
+
+    probe = run_trace_overhead(SCENARIOS["sysbench"], repeats=1)
+    assert probe["scenario"] == "sysbench"
+    assert probe["events"] > 0
+    assert probe["untraced_events_per_s"] > 0
+    assert probe["traced_events_per_s"] > 0
+    # Tracing costs something but must never change the payloads (the
+    # digest audit inside run_trace_overhead would have raised).
+    assert 0 < probe["traced_ratio"] <= 1.5
+
+
+def test_run_trace_overhead_refuses_an_already_traced_process(
+    monkeypatch, tmp_path
+):
+    from repro.bench.harness import run_trace_overhead
+    from repro.obs import capture
+
+    monkeypatch.setenv(capture.ENV_TRACE_OUT, str(tmp_path))
+    with pytest.raises(BenchError):
+        run_trace_overhead(SCENARIOS["sysbench"], repeats=1)
+
+
+def test_cli_bench_trace_overhead(capsys):
+    from repro.cli import main
+
+    assert main(["bench", "sysbench", "--trace-overhead", "0.01"]) == 0
+    err = capsys.readouterr().err
+    assert "trace-overhead sysbench" in err
+    assert "trace overhead ok" in err
+    # An impossible bound fails the gate.
+    assert main(["bench", "sysbench", "--trace-overhead", "100"]) == 1
+    assert "FAIL" in capsys.readouterr().err

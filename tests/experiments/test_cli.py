@@ -136,3 +136,45 @@ def test_run_one_returns_check_status(tmp_path, capsys):
         ok = run_one("fig8", sweep, scale=0.05, seeds=(0,), quiet=True)
     assert isinstance(ok, bool)
     assert "fig8" in capsys.readouterr().out
+
+
+def test_main_progress_renders_a_sweep_line(tmp_path, capsys):
+    rc = main(["fig8", "--scale", "0.05", "--seeds", "0", "--jobs", "1",
+               "--cache-dir", str(tmp_path), "--progress"])
+    assert rc in (0, 1)
+    captured = capsys.readouterr()
+    assert "sweep:" in captured.err
+    assert "cache" in captured.err and "memo" in captured.err
+    # The per-run "ran ..." lines are replaced by the progress line.
+    assert "  ran " not in captured.err
+    # ...and ends with a newline so the profile summary starts clean.
+    assert "### fig8" in captured.out
+
+
+def test_render_obs_blame_folds_into_experiment_output():
+    from repro.experiments.base import render_obs_blame
+
+    blame = {
+        "run.trace.jsonl": {
+            "makespan": 10.0, "segments": 2,
+            "phases": {"map": {
+                "duration": 10.0, "task": 8.0, "fault": 2.0,
+                "switch": 0.0, "idle": 0.0, "io_wait": 3.0,
+                "service": 4.0,
+            }},
+            "devices": {}, "vms": {},
+            "top_owners": [
+                {"owner": "map1@h0v0", "kind": "task", "seconds": 8.0},
+            ],
+        },
+    }
+    result = ExperimentResult(
+        "x", "t", {"obs": {"critical_path": blame}},
+        renderer=lambda r: "",
+    )
+    text = render_obs_blame(result)
+    assert "critical-path blame: run.trace.jsonl" in text
+    assert "map1@h0v0 (8.000s)" in text
+
+    untraced = ExperimentResult("x", "t", {}, renderer=lambda r: "")
+    assert render_obs_blame(untraced) == ""

@@ -72,7 +72,19 @@ def test_report_cli_prints_phases_and_device_io(fig8_trace_dir, capsys, tmp_path
 def test_report_cli_errors_cleanly_on_missing_path(capsys, tmp_path):
     code = main(["report", str(tmp_path / "nope")])
     assert code == 2
-    assert "error" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    # The failure is *named* so scripts can tell missing from empty.
+    assert "MissingTraceError" in err
+
+
+def test_report_cli_names_empty_traces(capsys, tmp_path):
+    (tmp_path / "hollow.trace.jsonl").write_text("")
+    code = main(["report", str(tmp_path)])
+    assert code == 2
+    assert "EmptyTraceError" in capsys.readouterr().err
+    code = main(["report", str(tmp_path), "--json"])
+    assert code == 2
+    assert "EmptyTraceError" in capsys.readouterr().err
 
 
 def test_trace_files_resolution(fig8_trace_dir, tmp_path):
@@ -130,3 +142,53 @@ def test_render_report_on_synthetic_records():
     assert "per-phase durations" in text
     # No disk records: the device table is omitted, not empty.
     assert "per-device I/O" not in text
+
+
+def test_report_cli_critical_path_tables(fig8_trace_dir, capsys):
+    code = main(["report", str(fig8_trace_dir), "--critical-path"])
+    assert code == 0
+    out = capsys.readouterr().out
+    # One critical-path + blame section per captured run.
+    assert out.count("critical path") >= 3
+    assert out.count("per-phase blame (critical-path seconds)") == 3
+    assert "top owners:" in out
+
+
+def test_report_json_document_schema(fig8_trace_dir, capsys):
+    code = main(["report", str(fig8_trace_dir), "--json", "--critical-path"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.report/1"
+    assert len(doc["files"]) == 3
+    for entry in doc["files"]:
+        assert entry["records"] > 0
+        assert set(entry["phases"]) == {"map", "shuffle", "reduce"}
+        for ph in entry["phases"].values():
+            assert ph["duration"] == ph["end"] - ph["start"]
+        assert entry["devices"]
+        assert all("device" in d and "submitted" in d
+                   for d in entry["devices"])
+        cp = entry["critical_path"]
+        # Conservation, straight off the emitted document.
+        seg_total = sum(s["duration"] for s in cp["segments"])
+        assert seg_total == pytest.approx(cp["blame"]["makespan"], abs=1e-9)
+
+
+def test_report_json_omits_critical_path_unless_asked(fig8_trace_dir, capsys):
+    code = main(["report", str(fig8_trace_dir), "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert all("critical_path" not in entry for entry in doc["files"])
+
+
+def test_report_out_and_spans_out_write_files(fig8_trace_dir, capsys, tmp_path):
+    out = tmp_path / "report.json"
+    spans = tmp_path / "spans.json"
+    code = main(["report", str(fig8_trace_dir), "--json", "--critical-path",
+                 "--out", str(out), "--spans-out", str(spans)])
+    assert code == 0
+    assert f"wrote report to {out}" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.report/1"
+    span_doc = json.loads(spans.read_text())
+    assert span_doc["traceEvents"]

@@ -1,0 +1,146 @@
+"""TraceSpiller: streamed output must equal the buffered path, byte for byte.
+
+The cheap tests drive synthetic record streams (seeded, so three
+distinct shapes) through every window size that matters — 1 (flush per
+record), a window that divides the stream length, one that doesn't, and
+one larger than the stream — and compare the file bytes against
+:func:`repro.obs.export.write_jsonl` over the same records.  One
+integration test pins the same equivalence on a real captured run (see
+``tests/obs/test_capture.py`` for the execute_spec-level guards).
+"""
+
+import random
+
+import pytest
+
+from repro.obs.export import load_jsonl, write_jsonl
+from repro.obs.spill import DEFAULT_WINDOW, TraceSpiller
+from repro.sim.tracing import TraceRecord
+
+TOPICS = ("disk.submit", "disk.complete", "fs.read", "job.start", "job.done")
+
+
+def synthetic_records(seed, n=1000):
+    rng = random.Random(seed)
+    records = []
+    t = 0.0
+    for i in range(n):
+        t += rng.random()
+        topic = rng.choice(TOPICS)
+        records.append(TraceRecord(time=t, topic=topic, payload={
+            "rid": i, "device": f"h{rng.randrange(2)}.sda",
+            "process": f"map{i}@h0v0", "nbytes": rng.randrange(1 << 20),
+        }))
+    return records
+
+
+def spill(records, path, **kwargs):
+    spiller = TraceSpiller(path, **kwargs)
+    for record in records:
+        spiller(record)
+    return spiller
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("window", [1, 100, 333, 5000])
+def test_spilled_bytes_equal_buffered_bytes(tmp_path, seed, window):
+    records = synthetic_records(seed)
+    buffered = tmp_path / "buffered.jsonl"
+    streamed = tmp_path / "streamed.jsonl"
+    write_jsonl(records, buffered)
+
+    spiller = spill(records, streamed, window=window)
+    assert spiller.buffered <= window
+    n = spiller.close()
+    assert n == len(records)
+    assert streamed.read_bytes() == buffered.read_bytes()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("cap", [1, 17, 999, 1000, 4096])
+def test_cap_keeps_the_ring_tail_like_the_buffered_writer(tmp_path, seed, cap):
+    records = synthetic_records(seed)
+    buffered = tmp_path / "buffered.jsonl"
+    streamed = tmp_path / "streamed.jsonl"
+    write_jsonl(records, buffered, cap=cap)
+
+    spiller = spill(records, streamed, cap=cap)
+    assert spiller.buffered == min(cap, len(records))
+    n = spiller.close()
+    assert n == min(cap, len(records))
+    assert spiller.dropped == max(0, len(records) - cap)
+    assert streamed.read_bytes() == buffered.read_bytes()
+
+
+def test_window_flushes_bound_memory(tmp_path):
+    records = synthetic_records(0, n=250)
+    spiller = TraceSpiller(tmp_path / "t.jsonl", window=100)
+    for record in records:
+        spiller(record)
+        assert spiller.buffered < 100  # the window flushes *at* 100
+    # 250 records at window 100: two mid-run flushes, 50 still open.
+    assert spiller.flushes == 2
+    assert spiller.spilled == 200
+    assert spiller.buffered == 50
+    spiller.close()
+    assert spiller.spilled == 250
+
+
+def test_topic_filter_applies_before_the_window(tmp_path):
+    records = synthetic_records(0, n=200)
+    kept = [r for r in records if r.topic.startswith("disk.")]
+    buffered = tmp_path / "buffered.jsonl"
+    streamed = tmp_path / "streamed.jsonl"
+    write_jsonl(records, buffered, topics=("disk.*",))
+
+    spiller = spill(records, streamed, window=7, topics=("disk.*",))
+    assert spiller.close() == len(kept)
+    assert streamed.read_bytes() == buffered.read_bytes()
+
+
+def test_partial_file_until_close(tmp_path):
+    path = tmp_path / "t.jsonl"
+    spiller = spill(synthetic_records(0, n=50), path, window=10)
+    assert not path.exists()
+    assert path.with_name("t.jsonl.partial").exists()
+    spiller.close()
+    assert path.exists()
+    assert not path.with_name("t.jsonl.partial").exists()
+    assert len(load_jsonl(path)) == 50
+
+
+def test_close_is_idempotent_and_add_after_close_raises(tmp_path):
+    spiller = spill(synthetic_records(0, n=5), tmp_path / "t.jsonl")
+    assert spiller.close() == 5
+    assert spiller.close() == 5
+    with pytest.raises(RuntimeError):
+        spiller.add(TraceRecord(time=0.0, topic="job.start", payload={}))
+
+
+def test_zero_records_still_writes_an_empty_file(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    spiller = TraceSpiller(path)
+    assert spiller.close() == 0
+    assert path.exists()
+    assert path.read_bytes() == b""
+
+
+def test_abort_leaves_nothing_behind(tmp_path):
+    path = tmp_path / "t.jsonl"
+    spiller = spill(synthetic_records(0, n=50), path, window=10)
+    spiller.abort()
+    assert not path.exists()
+    assert not path.with_name("t.jsonl.partial").exists()
+    with pytest.raises(RuntimeError):
+        spiller.add(TraceRecord(time=0.0, topic="job.start", payload={}))
+
+
+def test_constructor_validates_window_and_cap(tmp_path):
+    with pytest.raises(ValueError):
+        TraceSpiller(tmp_path / "t.jsonl", window=0)
+    with pytest.raises(ValueError):
+        TraceSpiller(tmp_path / "t.jsonl", cap=0)
+
+
+def test_default_window_is_sane():
+    assert DEFAULT_WINDOW >= 1

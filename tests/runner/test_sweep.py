@@ -98,7 +98,28 @@ def test_no_cache_skips_disk_but_keeps_memo(tmp_path):
         sweep.run_specs(specs)
         assert sweep.stats.executed == 1
         assert sweep.stats.memo_hits == 1
+        # Every uncached execution is counted as a bypass...
+        assert sweep.stats.bypassed == 1
+        assert "cache bypassed 1" in sweep.stats.summary()
+        assert sweep.cache_stats() == {
+            "hits": 0, "misses": 0, "bytes_read": 0, "bytes_written": 0,
+            "bypassed": 1,
+        }
+        assert "bypassed 1" in sweep.profile_summary()
     assert list(tmp_path.rglob("*.json")) == []
+
+
+def test_cached_runs_report_no_bypasses(tmp_path):
+    specs = _dd_specs(n_pairs=1, seeds=(0,))
+    with SweepRunner(jobs=1, cache_dir=tmp_path) as sweep:
+        sweep.run_specs(specs)
+        assert sweep.stats.bypassed == 0
+        # ...and the summary keeps its stable prefix when none happen.
+        assert "bypassed" not in sweep.stats.summary()
+        stats = sweep.cache_stats()
+        assert stats["misses"] == 1 and stats["bypassed"] == 0
+        assert stats["bytes_written"] > 0
+        assert "bypassed" not in sweep.profile_summary()
 
 
 def test_progress_callback_fires_per_execution(tmp_path):

@@ -1,0 +1,176 @@
+"""Sweep telemetry: the runner's event stream and the progress renderer.
+
+The runner-side tests drive a real ``SweepRunner`` (jobs=1, tiny specs)
+and assert the event sequence; the renderer tests feed synthetic events
+through a fake clock and capture the painted line.
+"""
+
+import io
+
+import pytest
+
+from repro.runner import RunSpec, SweepRunner
+from repro.runner.kinds import register
+from repro.runner.telemetry import (
+    EVENT_KINDS,
+    ProgressRenderer,
+    SweepEvent,
+    describe_spec,
+)
+
+
+@register("telemetry_echo")
+def _echo(config, seed):
+    return {"config": config, "seed": seed}
+
+
+def spec(n, label=""):
+    return RunSpec(kind="telemetry_echo", seed=n, config=n, label=label)
+
+
+@pytest.fixture
+def runner(tmp_path):
+    events = []
+    r = SweepRunner(jobs=1, cache_dir=tmp_path / "cache", events=events.append)
+    with r:
+        yield r, events
+
+
+def kinds(events):
+    return [e.kind for e in events]
+
+
+def test_event_kinds_are_registered():
+    assert set(EVENT_KINDS) == {
+        "batch_started", "run_started", "run_finished",
+        "cache_hit", "memo_hit", "batch_finished",
+    }
+
+
+def test_describe_spec_prefers_the_label():
+    assert describe_spec(spec(3)) == "telemetry_echo seed=3"
+    assert describe_spec(spec(3, label="nice")) == "nice"
+
+
+def test_fresh_batch_emits_lifecycle_edges(runner):
+    r, events = runner
+    r.run_specs([spec(0), spec(1)])
+    assert kinds(events) == [
+        "batch_started", "run_started", "run_finished",
+        "run_started", "run_finished", "batch_finished",
+    ]
+    started = [e for e in events if e.kind == "batch_started"]
+    assert started[0].pending == 2
+    finished = [e for e in events if e.kind == "run_finished"]
+    assert [e.completed for e in finished] == [1, 2]
+    assert [e.pending for e in finished] == [1, 0]
+    assert all(e.key for e in finished)
+    assert events[-1].completed == 2
+
+
+def test_memo_and_cache_hits_emit_without_a_batch(runner, tmp_path):
+    r, events = runner
+    r.run_specs([spec(0)])
+    events.clear()
+    r.run_specs([spec(0)])  # memo
+    assert kinds(events) == ["memo_hit"]
+
+    events2 = []
+    with SweepRunner(jobs=1, cache_dir=tmp_path / "cache",
+                     events=events2.append) as r2:
+        r2.run_specs([spec(0)])  # disk cache, fresh process memo
+    assert kinds(events2) == ["cache_hit"]
+
+
+def test_runner_without_events_callback_pays_nothing(tmp_path):
+    with SweepRunner(jobs=1, cache_dir=tmp_path / "c") as r:
+        assert r.events is None
+        assert r.run_specs([spec(5)])[0]["seed"] == 5
+
+
+# -- the renderer ---------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_renderer(jobs=1):
+    stream = io.StringIO()
+    clock = FakeClock()
+    renderer = ProgressRenderer(jobs=jobs, stream=stream, clock=clock)
+    renderer.min_interval = 0.0
+    return renderer, stream, clock
+
+
+def test_renderer_counts_and_formats():
+    renderer, stream, clock = make_renderer()
+    renderer(SweepEvent(kind="batch_started", pending=3))
+    renderer(SweepEvent(kind="cache_hit", label="a"))
+    clock.now = 1.0
+    renderer(SweepEvent(kind="run_finished", label="b", seconds=2.0,
+                        completed=1, pending=2))
+    line = stream.getvalue().split("\r")[-1]
+    assert "1/3 runs" in line
+    assert "1 cache" in line
+    assert "b" in line
+    assert "ETA" in line
+
+
+def test_renderer_eta_converges():
+    renderer, _, _ = make_renderer(jobs=2)
+    renderer(SweepEvent(kind="batch_started", pending=4))
+    assert renderer.eta_seconds() is None  # no durations yet
+    renderer(SweepEvent(kind="run_finished", seconds=10.0))
+    renderer(SweepEvent(kind="run_finished", seconds=20.0))
+    # 2 pending x mean 15s / 2 workers.
+    assert renderer.eta_seconds() == pytest.approx(15.0)
+    renderer(SweepEvent(kind="run_finished", seconds=15.0))
+    renderer(SweepEvent(kind="run_finished", seconds=15.0))
+    assert renderer.eta_seconds() == 0.0
+
+
+def test_renderer_throttles_paints():
+    renderer, stream, clock = make_renderer()
+    renderer.min_interval = 0.1
+    for _ in range(50):
+        renderer(SweepEvent(kind="memo_hit"))  # clock never advances
+    paints = stream.getvalue().count("\r")
+    assert paints <= 1
+    clock.now = 1.0
+    renderer(SweepEvent(kind="memo_hit"))
+    assert stream.getvalue().count("\r") == paints + 1
+
+
+def test_renderer_close_finishes_the_line_idempotently():
+    renderer, stream, _ = make_renderer()
+    renderer(SweepEvent(kind="run_finished", seconds=1.0))
+    renderer.close()
+    value = stream.getvalue()
+    assert value.endswith("\n")
+    renderer.close()
+    assert stream.getvalue() == value  # no second newline
+
+
+def test_renderer_close_without_activity_writes_nothing():
+    renderer, stream, _ = make_renderer()
+    renderer.close()
+    assert stream.getvalue() == ""
+
+
+def test_progress_renderer_plugs_into_a_real_runner(tmp_path):
+    stream = io.StringIO()
+    renderer = ProgressRenderer(jobs=1, stream=stream)
+    renderer.min_interval = 0.0
+    with SweepRunner(jobs=1, cache_dir=tmp_path / "c",
+                     events=renderer) as r:
+        r.run_specs([spec(0), spec(1), spec(0)])
+    renderer.close()
+    out = stream.getvalue()
+    assert "sweep: 2 runs" in out  # both fresh runs counted
+    assert "0/2 runs" in out       # and the pending total was shown
+    assert out.endswith("\n")
