@@ -41,6 +41,7 @@ from .core.experiment import JobRunner, TestbedConfig
 from .core.solution import Solution
 from .ctrl.config import CtrlConfig
 from .ctrl.policies import resolve_policy
+from .disk.backend import UnknownStorageError, resolve_storage
 from .faults.plan import FaultPlan
 from .hdfs.namenode import NameNode
 from .mapreduce.job import MB, JobConfig, JobSpec
@@ -63,6 +64,7 @@ __all__ = [
     "PAPER_SEEDS",
     "RunResult",
     "Scenario",
+    "UnknownStorageError",
     "assemble_cluster",
     "assemble_job",
     "default_seeds",
@@ -141,11 +143,21 @@ def scaled_cluster(
     hosts: int = 4,
     vms_per_host: int = 4,
     seed: int = 0,
+    storage: str = "hdd",
+    storage_overrides: Tuple[Tuple[int, str], ...] = (),
 ) -> ClusterConfig:
-    """The paper's testbed shape with scaled guest memory sizing."""
+    """The paper's testbed shape with scaled guest memory sizing.
+
+    ``storage`` names the per-host backend (``repro.disk.backend``
+    registry); the name is carried as plain data and resolved at
+    cluster build time, keeping this function spec-canonicalisation
+    pure.
+    """
     return ClusterConfig(
         hosts=hosts,
         vms_per_host=vms_per_host,
+        storage=storage,
+        storage_overrides=tuple(storage_overrides),
         pagecache=scaled_pagecache(scale),
         seed=seed,
     )
@@ -187,11 +199,15 @@ def scaled_testbed(
     seeds: Sequence[int] = PAPER_SEEDS,
     n_phases: int = 2,
     bytes_per_vm: Optional[int] = None,
+    storage: str = "hdd",
+    storage_overrides: Tuple[Tuple[int, str], ...] = (),
     **job_overrides,
 ) -> TestbedConfig:
     """One-stop testbed for experiments and examples."""
     return TestbedConfig(
-        cluster=scaled_cluster(scale, hosts=hosts, vms_per_host=vms_per_host),
+        cluster=scaled_cluster(scale, hosts=hosts, vms_per_host=vms_per_host,
+                               storage=storage,
+                               storage_overrides=storage_overrides),
         job=scaled_job(spec, scale, bytes_per_vm=bytes_per_vm, **job_overrides),
         seeds=tuple(seeds),
         n_phases=n_phases,
@@ -221,11 +237,20 @@ def assemble_cluster(
     cluster_config: ClusterConfig,
     seed: Optional[int] = None,
     trace=None,
+    storage: Optional[str] = None,
 ) -> Tuple[Environment, VirtualCluster]:
-    """Fresh environment + virtual cluster (the bottom half of a run)."""
+    """Fresh environment + virtual cluster (the bottom half of a run).
+
+    ``storage`` overrides the config's backend by registry name
+    (hdd/ssd/hybrid); unknown names raise
+    :class:`~repro.disk.backend.UnknownStorageError` listing what is
+    registered.
+    """
     env = Environment(trace=trace)
     if seed is not None:
         cluster_config = cluster_config.with_(seed=seed)
+    if storage is not None:
+        cluster_config = cluster_config.with_(storage=resolve_storage(storage))
     cluster = VirtualCluster(env, cluster_config, trace=trace)
     return env, cluster
 
@@ -260,6 +285,21 @@ def assemble_job(
 # -- the scenario builder ------------------------------------------------------------
 
 
+def _validate_storage(
+    storage: str, overrides: Tuple[Tuple[int, str], ...]
+) -> None:
+    """Reject unknown backend names at scenario construction.
+
+    Runs in scenario ``__post_init__`` — outside the pure ``to_spec``
+    lowering path — so the registry read stays out of the cache-key
+    call graph (CACHE001) while bad names still fail fast with the
+    registered alternatives listed.
+    """
+    resolve_storage(storage)
+    for _host, name in overrides:
+        resolve_storage(name)
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A declarative description of one simulated MapReduce experiment.
@@ -286,10 +326,16 @@ class Scenario:
     #: Fault-injection plan; ``None`` keeps the run fault-free.
     faults: Optional[FaultPlan] = None
     bytes_per_vm: Optional[int] = None
+    #: Storage backend for every host (``repro.disk.backend`` registry:
+    #: hdd/ssd/hybrid); validated here, lowered as plain data.
+    storage: str = "hdd"
+    #: Per-host backend overrides as ``(host_index, name)`` pairs.
+    storage_overrides: Tuple[Tuple[int, str], ...] = ()
     label: str = ""
 
     def __post_init__(self) -> None:
         validate_scale(self.scale)
+        _validate_storage(self.storage, self.storage_overrides)
         if self.plan is not None and len(self.plan) != self.n_phases:
             raise ValueError(
                 f"plan has {len(self.plan)} phases, scenario expects "
@@ -324,6 +370,8 @@ class Scenario:
             seeds=seeds,
             n_phases=self.n_phases,
             bytes_per_vm=self.bytes_per_vm,
+            storage=self.storage,
+            storage_overrides=self.storage_overrides,
         )
 
     def to_spec(self, seed: int = 0) -> "RunSpec":
@@ -383,10 +431,14 @@ class MultiJobScenario:
     #: Full arrival process; overrides the poisson fields when set.
     arrivals: Optional[ArrivalConfig] = None
     bytes_per_vm: Optional[int] = None
+    #: Storage backend name (hdd/ssd/hybrid) + per-host overrides.
+    storage: str = "hdd"
+    storage_overrides: Tuple[Tuple[int, str], ...] = ()
     label: str = ""
 
     def __post_init__(self) -> None:
         validate_scale(self.scale)
+        _validate_storage(self.storage, self.storage_overrides)
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
         if self.arrival_rate <= 0:
@@ -434,7 +486,8 @@ class MultiJobScenario:
 
     def multi_job_config(self) -> MultiJobConfig:
         cluster = scaled_cluster(
-            self.scale, hosts=self.hosts, vms_per_host=self.vms_per_host
+            self.scale, hosts=self.hosts, vms_per_host=self.vms_per_host,
+            storage=self.storage, storage_overrides=self.storage_overrides,
         )
         if self.pair is not None:
             pair = (SchedulerPair.parse(self.pair)
@@ -502,10 +555,14 @@ class ControlledScenario:
     #: Background co-tenant write volume (bytes; 0 = none).
     interference_bytes: int = 0
     bytes_per_vm: Optional[int] = None
+    #: Storage backend name (hdd/ssd/hybrid) + per-host overrides.
+    storage: str = "hdd"
+    storage_overrides: Tuple[Tuple[int, str], ...] = ()
     label: str = ""
 
     def __post_init__(self) -> None:
         validate_scale(self.scale)
+        _validate_storage(self.storage, self.storage_overrides)
         if self.controller is not None:
             resolve_policy(self.controller)
         if self.phase_pairs and len(self.phase_pairs) != self.n_phases:
@@ -550,6 +607,8 @@ class ControlledScenario:
             seeds=seeds,
             n_phases=self.n_phases,
             bytes_per_vm=self.bytes_per_vm,
+            storage=self.storage,
+            storage_overrides=self.storage_overrides,
         )
 
     def to_spec(self, seed: int = 0) -> "RunSpec":

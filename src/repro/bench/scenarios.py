@@ -19,7 +19,9 @@ The five scenarios cover the simulator's distinct hot paths:
 * ``scale_sweep``   — an 8-host × 4-VM cluster swept over two scales
   (the "big cluster" shape the ROADMAP wants to grow into);
 * ``multijob``      — a Poisson stream of three concurrent sort jobs
-  over shared slots (the multi-tenant control-plane hot path).
+  over shared slots (the multi-tenant control-plane hot path);
+* ``ssd_sort``      — the fig2-shaped sort job on the FTL-based SSD
+  backend (write cache, per-channel NAND queues, fig-ssd).
 """
 
 from __future__ import annotations
@@ -150,6 +152,21 @@ def _scale_sweep() -> List[RunSpec]:
     ]
 
 
+def _ssd_sort() -> List[RunSpec]:
+    return [
+        RunSpec(
+            kind="job",
+            seed=0,
+            config=(
+                scaled_testbed(SORT, scale=0.125, hosts=2, vms_per_host=2,
+                               seeds=(0,), storage="ssd"),
+                Solution.uniform(DEFAULT_PAIR, 2),
+            ),
+            label="bench ssd_sort",
+        )
+    ]
+
+
 def _multijob() -> List[RunSpec]:
     return [
         MultiJobScenario(
@@ -230,6 +247,21 @@ SCENARIOS: Dict[str, BenchScenario] = {
             ),
             baseline=Baseline(wall_s=11.430678, events=462894,
                               events_per_s=40495.8),
+        ),
+        # FTL hot path: the fig2-shaped sort job on the SSD backend —
+        # write-cache admission, per-channel NAND queues, delayed
+        # writeback.  New in the storage-backend PR, so its baseline is
+        # the first measurement on that revision.
+        BenchScenario(
+            name="ssd_sort",
+            make_specs=_ssd_sort,
+            repeats=3, quick_repeats=2, warmup=1,
+            expected_digest=(
+                "1baaf7e573eee7d9963ae304753c16a5"
+                "1955b0c471d5c8776052039de979ab42"
+            ),
+            baseline=Baseline(wall_s=1.801492, events=491561,
+                              events_per_s=272863.3),
         ),
         # Multi-tenant control plane: three overlapping sort jobs on a
         # 2x2 cluster under FIFO.  New in the multi-job PR, so its

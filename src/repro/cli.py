@@ -98,6 +98,15 @@ def _parse_policy(raw: str) -> str:
     return raw
 
 
+def _parse_storage(raw: str) -> str:
+    from .disk.backend import UnknownStorageError, resolve_storage
+
+    try:
+        return resolve_storage(raw)
+    except UnknownStorageError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _parse_pair(raw: str) -> str:
     from .iosched.registry import SCHEDULER_NAMES
     from .virt.pair import SchedulerPair
@@ -239,6 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(currently fig-ctrl; default: compare greedy/hysteresis/bandit)",
     )
     parser.add_argument(
+        "--storage",
+        type=_parse_storage,
+        default=None,
+        metavar="BACKEND",
+        help="storage backend for experiments that take one (registry "
+        "names: hdd/ssd/hybrid; currently fig-ssd restricts its "
+        "comparison; other figures model the paper's SATA spindles)",
+    )
+    parser.add_argument(
         "--trace-out",
         metavar="DIR",
         default=None,
@@ -354,6 +372,10 @@ def build_run_parser() -> argparse.ArgumentParser:
                         "(default 2)")
     parser.add_argument("--faults", choices=sorted(PRESETS), default=None,
                         help="fault-injection preset (default: fault-free)")
+    parser.add_argument("--storage", type=_parse_storage, default="hdd",
+                        metavar="BACKEND",
+                        help="storage backend name (hdd/ssd/hybrid; "
+                        "default hdd, the paper's SATA spindle)")
     parser.add_argument("--ctrl-dwell", type=_parse_cost, default=0.0,
                         metavar="SECONDS",
                         help="observation dwell after a detected boundary "
@@ -404,6 +426,7 @@ def run_controlled(argv: List[str]) -> int:
             cost_budget=args.ctrl_cost_budget,
             epsilon=args.ctrl_epsilon,
             arms=args.ctrl_arms or (),
+            storage=args.storage,
             faults=None if args.faults in (None, "none")
             else PRESETS[args.faults],
         )
@@ -485,7 +508,8 @@ def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
             trace_out: Optional[str] = None,
             arrivals: Optional[int] = None, scheduler: Optional[str] = None,
             tenants: Optional[int] = None,
-            controller: Optional[str] = None) -> bool:
+            controller: Optional[str] = None,
+            storage: Optional[str] = None) -> bool:
     start = time.time()
     before = sweep.stats.snapshot()
     files_before: Set[str] = set()
@@ -504,7 +528,8 @@ def run_one(exp_id: str, sweep: SweepRunner, scale: float, seeds: tuple,
         else:
             kwargs["faults"] = faults
     for flag, value in (("arrivals", arrivals), ("scheduler", scheduler),
-                        ("tenants", tenants), ("controller", controller)):
+                        ("tenants", tenants), ("controller", controller),
+                        ("storage", storage)):
         if value is None:
             continue
         if flag not in params:
@@ -614,7 +639,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              arrivals=args.arrivals,
                              scheduler=args.scheduler,
                              tenants=args.tenants,
-                             controller=args.controller) and ok
+                             controller=args.controller,
+                             storage=args.storage) and ok
             if renderer is not None:
                 renderer.close()
             if not args.quiet:

@@ -158,7 +158,11 @@ class JobRunner:
             env.process(self._switcher(env, cluster, job, solution, stall_total))
 
         env.run(until=proc)
-        return proc.value, stall_total[0]
+        result: JobResult = proc.value
+        # Backend counters ride on the result; all-HDD clusters report
+        # nothing, so their payloads stay bit-identical.
+        result.storage = cluster.storage_stats()
+        return result, stall_total[0]
 
     def _switcher(self, env, cluster, job: MapReduceJob, solution: Solution,
                   stall_total):

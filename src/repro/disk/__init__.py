@@ -1,14 +1,32 @@
-"""Single-spindle disk substrate: requests, geometry, timing, device."""
+"""Block-storage substrate: requests, geometry, timing, pluggable devices.
 
+Backends (HDD spindle, FTL SSD, hybrid) are picked by name through the
+:mod:`repro.disk.backend` registry; an optional host buffer-cache tier
+(:mod:`repro.disk.cachetier`) can front any of them.
+"""
+
+from .backend import (
+    StorageBackend,
+    StorageParams,
+    UnknownStorageError,
+    make_device,
+    register_storage,
+    resolve_storage,
+    storage_names,
+)
+from .cachetier import CacheTier, CacheTierParams
 from .device import DiskDevice
 from .geometry import DiskGeometry
 from .model import DiskParameters, ServiceBreakdown, ServiceTimeModel
 from .request import SECTOR_SIZE, BlockRequest, IoOp
+from .ssd import SsdDevice, SsdParameters
 from .stats import DeviceStats
 
 __all__ = [
     "SECTOR_SIZE",
     "BlockRequest",
+    "CacheTier",
+    "CacheTierParams",
     "DeviceStats",
     "DiskDevice",
     "DiskGeometry",
@@ -16,4 +34,13 @@ __all__ = [
     "IoOp",
     "ServiceBreakdown",
     "ServiceTimeModel",
+    "SsdDevice",
+    "SsdParameters",
+    "StorageBackend",
+    "StorageParams",
+    "UnknownStorageError",
+    "make_device",
+    "register_storage",
+    "resolve_storage",
+    "storage_names",
 ]

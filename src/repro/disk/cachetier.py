@@ -1,0 +1,223 @@
+"""Host-side buffer-cache / write-buffer tier fronting any block device.
+
+An optional layer between the guests' virtual disks and the Dom0
+device: reads that hit recently-touched pages complete at memory
+latency without entering the Dom0 elevator at all; writes are absorbed
+into a write buffer and flushed to the device later — coalesced into
+contiguous runs — by a background writeback process.  Dirty pages
+evicted under capacity pressure are synced to the backing device
+first, so no acknowledged write is ever lost.
+
+The tier is *not* an :class:`~repro.disk.device.ElevatorQueue`: it
+exposes only the one method the guest ring needs
+(``submit(request) -> Event``), forwarding misses and flushes to the
+real device underneath.  The Dom0 elevator, the switch protocol, and
+fault injection therefore keep operating on the device itself; the
+tier just thins the request stream that reaches it.
+
+Bookkeeping follows the classic buffer-cache shape (hit/miss counters
+against a reference count, LRU recency, dirty sync on eviction); the
+invariant ``hits + misses == references`` is part of the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..sim.events import Event, Timeout
+from .request import SECTOR_SIZE, BlockRequest, IoOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+__all__ = ["CacheTierParams", "CacheTier"]
+
+
+@dataclass(frozen=True)
+class CacheTierParams:
+    """Sizing and timing of the host buffer-cache tier.
+
+    ``enabled=False`` (the default) builds no tier at all, keeping the
+    stock request path — and therefore every existing payload —
+    bit-identical.
+    """
+
+    enabled: bool = False
+    capacity_pages: int = 4096
+    page_bytes: int = 4096
+    #: Service latency of a cache hit / write absorption (seconds).
+    hit_latency: float = 20e-6
+    #: Coalescing window before dirty pages flush to the device.
+    writeback_delay: float = 0.050
+
+    def __post_init__(self) -> None:
+        if self.page_bytes % SECTOR_SIZE != 0:
+            raise ValueError("page_bytes must be a multiple of 512")
+        if self.capacity_pages < 1:
+            raise ValueError("capacity_pages must be >= 1")
+        if self.writeback_delay < 0:
+            raise ValueError("writeback_delay must be >= 0")
+
+
+class CacheTier:
+    """LRU page cache + write buffer in front of a block device."""
+
+    kind = "cache"
+
+    def __init__(
+        self,
+        env: "Environment",
+        device,
+        params: Optional[CacheTierParams] = None,
+        name: str = "bc",
+    ):
+        self.env = env
+        self.device = device
+        self.params = params or CacheTierParams(enabled=True)
+        self.name = name
+        #: page number -> dirty flag; insertion order is LRU order
+        #: (re-references delete + re-insert).
+        self._pages: Dict[int, bool] = {}
+        self._flush_wake: Event = env.event()
+        self.references = 0
+        self.hits = 0
+        self.misses = 0
+        self.flushed_pages = 0
+        self.evicted_dirty = 0
+        env.process(self._flusher())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<CacheTier {self.name} pages={len(self._pages)} "
+            f"hits={self.hits} misses={self.misses}>"
+        )
+
+    # -- the device-facing surface -----------------------------------------------
+    def submit(self, request: BlockRequest) -> Event:
+        """Serve (or forward) one request; returns its completion event."""
+        done = Event(self.env)
+        self.env.process(self._serve(request, done))
+        return done
+
+    # -- service -----------------------------------------------------------------
+    def _page_span(self, request: BlockRequest) -> range:
+        first = (request.lba * SECTOR_SIZE) // self.params.page_bytes
+        last = (request.end_lba * SECTOR_SIZE - 1) // self.params.page_bytes
+        return range(first, last + 1)
+
+    def _serve(self, request: BlockRequest, done: Event):
+        env = self.env
+        if request.op is IoOp.READ:
+            missing = False
+            for pn in self._page_span(request):
+                self.references += 1
+                if pn in self._pages:
+                    self.hits += 1
+                    self._touch(pn)
+                else:
+                    self.misses += 1
+                    missing = True
+            if missing:
+                forward = BlockRequest(
+                    lba=request.lba,
+                    nsectors=request.nsectors,
+                    op=IoOp.READ,
+                    process_id=request.process_id,
+                    sync=request.sync,
+                    origin=request,
+                )
+                yield self.device.submit(forward)
+                for pn in self._page_span(request):
+                    self._insert(pn, dirty=False)
+            elif self.params.hit_latency > 0:
+                yield Timeout(env, self.params.hit_latency)
+        else:
+            for pn in self._page_span(request):
+                self.references += 1
+                if pn in self._pages:
+                    self.hits += 1
+                else:
+                    self.misses += 1
+                self._insert(pn, dirty=True)
+            self._kick_flusher()
+            if self.params.hit_latency > 0:
+                yield Timeout(env, self.params.hit_latency)
+        request.complete_time = env._now
+        done.succeed(request)
+
+    # -- LRU ---------------------------------------------------------------------
+    def _touch(self, pn: int) -> None:
+        dirty = self._pages.pop(pn)
+        self._pages[pn] = dirty
+
+    def _insert(self, pn: int, dirty: bool) -> None:
+        was_dirty = self._pages.pop(pn, False)
+        self._pages[pn] = dirty or was_dirty
+        while len(self._pages) > self.params.capacity_pages:
+            victim = next(iter(self._pages))
+            victim_dirty = self._pages.pop(victim)
+            if victim_dirty:
+                # Sync the victim to the device before dropping it.
+                self.evicted_dirty += 1
+                self._write_back([victim])
+
+    # -- writeback ---------------------------------------------------------------
+    def _kick_flusher(self) -> None:
+        wake = self._flush_wake
+        if not wake.triggered:
+            wake.succeed()
+
+    def _flusher(self):
+        env = self.env
+        while True:
+            if not any(self._pages.values()):
+                self._flush_wake = Event(env)
+                yield self._flush_wake
+                continue
+            yield Timeout(env, self.params.writeback_delay)
+            dirty = [pn for pn, is_dirty in self._pages.items() if is_dirty]
+            for pn in dirty:
+                self._pages[pn] = False
+            self._write_back(dirty)
+
+    def _write_back(self, page_numbers: List[int]) -> None:
+        """Flush pages to the device, coalesced into contiguous runs."""
+        if not page_numbers:
+            return
+        sectors_per_page = self.params.page_bytes // SECTOR_SIZE
+        for start, count in self._runs(sorted(page_numbers)):
+            self.device.submit(BlockRequest(
+                lba=start * sectors_per_page,
+                nsectors=count * sectors_per_page,
+                op=IoOp.WRITE,
+                process_id=self.name,
+                sync=False,
+            ))
+        self.flushed_pages += len(page_numbers)
+
+    @staticmethod
+    def _runs(page_numbers: List[int]) -> List[Tuple[int, int]]:
+        """Collapse a sorted page list into (start, length) runs."""
+        runs: List[Tuple[int, int]] = []
+        start = prev = page_numbers[0]
+        for pn in page_numbers[1:]:
+            if pn == prev + 1:
+                prev = pn
+                continue
+            runs.append((start, prev - start + 1))
+            start = prev = pn
+        runs.append((start, prev - start + 1))
+        return runs
+
+    # -- accounting --------------------------------------------------------------
+    def storage_stats(self) -> Dict[str, object]:
+        """JSON-able counters for run payloads and reports."""
+        return {
+            "kind": self.kind,
+            "references": self.references,
+            "hits": self.hits,
+            "misses": self.misses,
+            "flushed_pages": self.flushed_pages,
+            "evicted_dirty": self.evicted_dirty,
+        }

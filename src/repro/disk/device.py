@@ -38,6 +38,10 @@ __all__ = ["ElevatorQueue", "DiskDevice"]
 class ElevatorQueue(abc.ABC):
     """Shared queue machinery: submit, dispatch loop, hot switch."""
 
+    #: Backend kind label carried in ``disk.submit`` records so reports
+    #: can tell HDDs, SSDs, and guest vdisks apart.
+    kind = "disk"
+
     def __init__(
         self,
         env: "Environment",
@@ -136,6 +140,7 @@ class ElevatorQueue(abc.ABC):
                 now,
                 "disk.submit",
                 device=self.name,
+                kind=self.kind,
                 rid=request.rid,
                 op=request.op.value,
                 lba=request.lba,
@@ -342,6 +347,8 @@ class ElevatorQueue(abc.ABC):
 
 class DiskDevice(ElevatorQueue):
     """A single-spindle block device with a pluggable elevator."""
+
+    kind = "hdd"
 
     def __init__(
         self,

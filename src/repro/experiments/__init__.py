@@ -19,6 +19,7 @@ from . import (
     fig9_faults,
     fig_ctrl,
     fig_multijob,
+    fig_ssd,
     table1_sort,
     table2_waves,
 )
@@ -41,6 +42,7 @@ EXPERIMENTS = {
     "fig9-faults": fig9_faults.run,
     "fig-ctrl": fig_ctrl.run,
     "fig-multijob": fig_multijob.run,
+    "fig-ssd": fig_ssd.run,
     "table1": table1_sort.run,
     "table2": table2_waves.run,
     "ablation-mechanisms": ablations.run_mechanisms,

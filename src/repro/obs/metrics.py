@@ -277,6 +277,17 @@ class TraceMetrics:
             reg.counter("sched.switches", device=device).inc()
             reg.counter("sched.switch_stall_seconds", device=device).inc(p["stall"])
             reg.counter("sched.switch_stall_seconds_total").inc(p["stall"])
+        elif topic == "ssd.gc":
+            device = p["device"]
+            reg.counter("ssd.gc_cycles", device=device).inc()
+            reg.counter("ssd.moved_pages", device=device).inc(p.get("moved", 0))
+            reg.gauge("ssd.write_amp", device=device).set(p["write_amp"])
+        elif topic == "ssd.writeback":
+            device = p["device"]
+            reg.counter("ssd.flushed_pages", device=device).inc(p.get("pages", 0))
+        elif topic == "ssd.channel":
+            reg.gauge("ssd.channel_depth", device=p["device"],
+                      channel=p["channel"]).set(p["depth"])
         elif topic in ("fs.read", "fs.write"):
             op = "read" if topic == "fs.read" else "write"
             reg.counter("fs.ops", vm=p["vm"], op=op).inc()

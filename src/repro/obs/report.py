@@ -26,6 +26,7 @@ __all__ = [
     "EmptyTraceError",
     "trace_files",
     "phase_durations",
+    "device_kinds",
     "device_rows",
     "device_dicts",
     "render_timeline",
@@ -114,17 +115,36 @@ def _labelled(metrics: Dict[str, Any], prefix: str) -> Dict[str, Any]:
 
 
 #: Column names for :func:`device_rows`, shared by the text table and
-#: the JSON emitter so the two never drift.
+#: the JSON emitter so the two never drift.  ``kind`` sits last so the
+#: positional indices of the older columns stay stable.
 DEVICE_FIELDS = ("device", "submitted", "completed", "merged", "mb",
-                 "max_depth", "mean_latency_ms", "switch_stall_s")
+                 "max_depth", "mean_latency_ms", "switch_stall_s", "kind")
 
 
-def device_dicts(snapshot: Dict[str, Any]) -> List[Dict[str, Any]]:
+def device_kinds(records: Sequence[TraceRecord]) -> Dict[str, str]:
+    """Device name → backend kind, from ``disk.submit`` records.
+
+    The ``kind`` field (hdd/ssd/vdisk/...) was added to the submit
+    payload alongside the storage-backend registry; traces captured
+    before that carry no field and fall back to the generic ``"disk"``.
+    """
+    kinds: Dict[str, str] = {}
+    for record in records:
+        if record.topic == "disk.submit":
+            kinds.setdefault(record.payload["device"],
+                             record.payload.get("kind", "disk"))
+    return kinds
+
+
+def device_dicts(snapshot: Dict[str, Any],
+                 kinds: Optional[Dict[str, str]] = None) -> List[Dict[str, Any]]:
     """Per-device I/O rows as JSON objects (``repro report --json``)."""
-    return [dict(zip(DEVICE_FIELDS, row)) for row in device_rows(snapshot)]
+    return [dict(zip(DEVICE_FIELDS, row))
+            for row in device_rows(snapshot, kinds)]
 
 
-def device_rows(snapshot: Dict[str, Any]) -> List[List[Any]]:
+def device_rows(snapshot: Dict[str, Any],
+                kinds: Optional[Dict[str, str]] = None) -> List[List[Any]]:
     """Per-device I/O table rows from a metrics snapshot."""
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
@@ -137,6 +157,7 @@ def device_rows(snapshot: Dict[str, Any]) -> List[List[Any]]:
     depth_max = {k: g["max"] for k, g in _labelled(gauges, "disk.queue_depth").items()}
     latency = {k: h.get("mean", 0.0)
                for k, h in _labelled(histograms, "disk.latency").items()}
+    kinds = kinds or {}
     rows = []
     for device in sorted(submitted):
         rows.append([
@@ -148,6 +169,7 @@ def device_rows(snapshot: Dict[str, Any]) -> List[List[Any]]:
             int(depth_max.get(device, 0)),
             1000.0 * latency.get(device, 0.0),
             stalls.get(device, 0.0),
+            kinds.get(device, "disk"),
         ])
     return rows
 
@@ -188,11 +210,11 @@ def render_report(records: Sequence[TraceRecord], title: str = "") -> str:
         ))
         parts.append(render_timeline(phases))
 
-    rows = device_rows(snapshot)
+    rows = device_rows(snapshot, device_kinds(records))
     if rows:
         parts.append(format_table(
             ["device", "submitted", "completed", "merged", "MB",
-             "max depth", "mean lat ms", "switch stall s"],
+             "max depth", "mean lat ms", "switch stall s", "kind"],
             rows,
             title="per-device I/O",
         ))
@@ -281,7 +303,7 @@ def report_json(path: Path | str, critical: bool = False,
                 name: {"start": s, "end": e, "duration": e - s}
                 for name, (s, e) in phase_durations(records).items()
             },
-            "devices": device_dicts(snapshot),
+            "devices": device_dicts(snapshot, device_kinds(records)),
             "counters": snapshot.get("counters", {}),
         }
         if critical:

@@ -56,6 +56,11 @@ TOPICS: Tuple[TopicSpec, ...] = (
               span="request"),
     TopicSpec("disk.switched", "elevator switch finished on a device (stall seconds)",
               span="switch"),
+    # -- SSD backend (per-device; FTL internals) ------------------------------
+    TopicSpec("ssd.gc", "greedy GC cycle: victim erased after relocating valid "
+              "pages (moved/freed/write_amp in payload)"),
+    TopicSpec("ssd.writeback", "write-cache flush to NAND (pages in payload)"),
+    TopicSpec("ssd.channel", "NAND channel queue occupancy after a charge"),
     # -- guest filesystem (per-VM) --------------------------------------------
     TopicSpec("fs.read", "guest filesystem read completed", span="task"),
     TopicSpec("fs.write", "guest filesystem write completed", span="task"),

@@ -101,7 +101,7 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
 
 def encode_job_result(result: JobResult, switch_stall: float) -> Dict[str, Any]:
     p = result.phases
-    return {
+    payload: Dict[str, Any] = {
         "job_name": result.job_name,
         "phases": {
             "start": p.start,
@@ -118,6 +118,12 @@ def encode_job_result(result: JobResult, switch_stall: float) -> Dict[str, Any]:
         "map_progress": [[t, f] for t, f in result.map_progress],
         "switch_stall": switch_stall,
     }
+    if result.storage:
+        # Only non-HDD backends report counters, so the key is absent
+        # from (and the payload bit-identical for) all-HDD runs.
+        payload["storage"] = {k: result.storage[k]
+                              for k in sorted(result.storage)}
+    return payload
 
 
 def decode_job_result(payload: Dict[str, Any]) -> Tuple[JobResult, float]:
@@ -138,6 +144,7 @@ def decode_job_result(payload: Dict[str, Any]) -> Tuple[JobResult, float]:
         reduce_output_bytes=payload["reduce_output_bytes"],
         map_progress=[tuple(sample) for sample in payload["map_progress"]],
         fault_stats=dict(payload.get("faults", {})),
+        storage=dict(payload.get("storage", {})),
     )
     return result, payload["switch_stall"]
 
@@ -240,6 +247,7 @@ def _run_controlled_job(config, seed: int) -> Dict[str, Any]:
                          total_bytes=ctrl.interference_bytes).start()
     env.run(until=proc)
     result = proc.value
+    result.storage = cluster.storage_stats()
 
     stall = controller.switch_stall if controller is not None else 0.0
     payload = encode_job_result(result, stall)
@@ -326,7 +334,7 @@ def _run_multi_job(config, seed: int) -> Dict[str, Any]:
     useful_bytes = sum(
         rec["input_bytes"] + rec["reduce_output_bytes"] for rec in result.jobs
     )
-    return {
+    payload = {
         "scheduler": result.scheduler,
         "n_jobs": len(result.jobs),
         "makespan": result.makespan,
@@ -335,6 +343,10 @@ def _run_multi_job(config, seed: int) -> Dict[str, Any]:
         "jobs": result.jobs,
         "tenants": tenants,
     }
+    storage = cluster.storage_stats()
+    if storage:
+        payload["storage"] = {k: storage[k] for k in sorted(storage)}
+    return payload
 
 
 @register("chain")

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from ..disk.backend import StorageParams
+from ..disk.cachetier import CacheTierParams
 from ..disk.geometry import DiskGeometry
 from ..disk.model import DiskParameters
+from ..disk.ssd import SsdParameters
 from ..iosched.registry import scheduler_factory
 from ..sim.events import AllOf, Event
 from ..sim.rng import RngStreams
@@ -33,8 +36,19 @@ class ClusterConfig:
     hosts: int = 4
     vms_per_host: int = 4
     initial_pair: SchedulerPair = DEFAULT_PAIR
+    #: Storage-backend name for every host (``repro.disk.backend``
+    #: registry: hdd/ssd/hybrid).  Carried as a plain string — it is
+    #: resolved only at build time, never during spec canonicalisation,
+    #: so the config stays a pure cache-key ingredient.
+    storage: str = "hdd"
+    #: Per-host overrides as ``(host_index, backend_name)`` pairs, for
+    #: hand-built heterogeneous clusters beyond the ``hybrid`` parity
+    #: rule.
+    storage_overrides: Tuple[Tuple[int, str], ...] = ()
     geometry: DiskGeometry = field(default_factory=DiskGeometry)
     disk_params: DiskParameters = field(default_factory=DiskParameters)
+    ssd: SsdParameters = field(default_factory=SsdParameters)
+    cache_tier: CacheTierParams = field(default_factory=CacheTierParams)
     pagecache: PageCacheParams = field(default_factory=PageCacheParams)
     #: Seconds of work per second: 1 VCPU pinned to one core.
     vm_cpu_capacity: float = 1.0
@@ -67,14 +81,21 @@ class VirtualCluster:
 
     def _build(self) -> None:
         cfg = self.config
+        overrides = dict(cfg.storage_overrides)
         for h in range(cfg.hosts):
             host = PhysicalHost(
                 self.env,
                 name=f"h{h}",
                 vmm_scheduler_factory=scheduler_factory(cfg.initial_pair.vmm),
                 max_vms=cfg.vms_per_host,
-                geometry=cfg.geometry,
-                disk_params=cfg.disk_params,
+                storage=overrides.get(h, cfg.storage),
+                storage_params=StorageParams(
+                    geometry=cfg.geometry,
+                    disk_params=cfg.disk_params,
+                    ssd=cfg.ssd,
+                    cache_tier=cfg.cache_tier,
+                    host_index=h,
+                ),
                 rng=self.rng.stream(f"h{h}.disk"),
                 trace=self.trace,
                 switch_control_latency=cfg.switch_control_latency,
@@ -112,6 +133,23 @@ class VirtualCluster:
     @property
     def current_pair(self) -> SchedulerPair:
         return self._current_pair
+
+    def storage_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-device backend counters, for devices that report any.
+
+        Plain :class:`~repro.disk.device.DiskDevice` spindles report
+        nothing, so all-HDD clusters return ``{}`` and run payloads
+        stay bit-identical to the pre-registry code; SSDs contribute
+        their FTL counters and cache tiers their hit ledgers.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for host in self.hosts:
+            report = getattr(host.disk, "storage_stats", None)
+            if callable(report):
+                out[host.disk.name] = report()
+            if host.cache_tier is not None:
+                out[host.cache_tier.name] = host.cache_tier.storage_stats()
+        return out
 
     # -- control plane --------------------------------------------------------------
     def set_pair(self, pair: SchedulerPair) -> Event:

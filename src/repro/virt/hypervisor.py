@@ -1,18 +1,20 @@
-"""The physical host: Dom0 elevator, shared spindle, resident VMs."""
+"""The physical host: Dom0 elevator, shared storage backend, resident VMs."""
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 import numpy as np
 
-from ..disk.device import DiskDevice
+from ..disk.backend import StorageParams, make_device
+from ..disk.cachetier import CacheTier
 from ..disk.geometry import DiskGeometry
-from ..disk.model import DiskParameters, ServiceTimeModel
+from ..disk.model import DiskParameters
 from ..iosched.base import IOScheduler
 from ..iosched.registry import scheduler_factory
 from ..sim.events import AllOf, Event
-from ..sim.rng import fallback_rng
 from .pair import SchedulerPair
 from .vm import VM
 
@@ -27,7 +29,16 @@ class PhysicalHost:
     """One Xen host: a Dom0-level block device shared by its DomUs.
 
     The Dom0 elevator sees each VM as one process; guest disk images are
-    spread across the platter so cross-VM arbitration costs real seeks.
+    spread across the address space so cross-VM arbitration costs real
+    seeks (on spindles) or real channel contention (on flash).
+
+    The device itself is resolved by name through the
+    :mod:`repro.disk.backend` registry (``storage=`` + a
+    :class:`~repro.disk.backend.StorageParams` bundle).  The historical
+    ``geometry=``/``disk_params=`` assembly kwargs still work but are
+    deprecated — they fold into the bundle with a
+    :class:`DeprecationWarning`, like the ``repro.experiments.common``
+    re-exports.
     """
 
     def __init__(
@@ -36,32 +47,53 @@ class PhysicalHost:
         name: str,
         vmm_scheduler_factory: Callable[[], IOScheduler],
         max_vms: int,
-        geometry: Optional[DiskGeometry] = None,
-        disk_params: Optional[DiskParameters] = None,
+        storage: str = "hdd",
+        storage_params: Optional[StorageParams] = None,
         rng: Optional[np.random.Generator] = None,
         trace: Optional["TraceBus"] = None,
         switch_control_latency: float = 0.050,
+        geometry: Optional[DiskGeometry] = None,
+        disk_params: Optional[DiskParameters] = None,
     ):
         if max_vms <= 0:
             raise ValueError("max_vms must be positive")
+        if geometry is not None or disk_params is not None:
+            warnings.warn(
+                "the geometry=/disk_params= kwargs of PhysicalHost are "
+                "deprecated; pass storage_params=StorageParams(...) "
+                "(repro.disk.backend) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        params = storage_params or StorageParams()
+        if geometry is not None:
+            params = replace(params, geometry=geometry)
+        if disk_params is not None:
+            params = replace(params, disk_params=disk_params)
         self.env = env
         self.name = name
         self.max_vms = max_vms
-        self.geometry = geometry or DiskGeometry()
+        self.storage = storage
+        self.storage_params = params
+        self.geometry = params.geometry
         self.trace = trace
-        model = ServiceTimeModel(
-            geometry=self.geometry,
-            params=disk_params or DiskParameters(),
-            rng=rng or fallback_rng(),
-        )
-        self.disk = DiskDevice(
+        self.disk = make_device(
+            storage,
             env,
-            vmm_scheduler_factory(),
-            model,
+            params,
+            rng,
+            scheduler=vmm_scheduler_factory(),
             name=f"{name}.sda",
             trace=trace,
             switch_control_latency=switch_control_latency,
         )
+        #: Optional host buffer-cache/write-buffer tier fronting the
+        #: device; ``None`` keeps the direct request path bit-identical.
+        self.cache_tier: Optional[CacheTier] = None
+        if params.cache_tier.enabled:
+            self.cache_tier = CacheTier(
+                env, self.disk, params.cache_tier, name=f"{name}.bc"
+            )
         self.vms: List[VM] = []
         #: Filled in by the network topology when attached.
         self.nic = None
@@ -82,7 +114,8 @@ class PhysicalHost:
         Stripes divide the platter evenly among ``max_vms`` images, so
         with 4 VMs on a 1 TB disk consecutive images sit ~250 GB apart —
         the cross-VM seek distance that makes the Dom0 elevator choice
-        matter.
+        matter.  When a cache tier is configured the VM's ring targets
+        the tier; misses and flushes still reach the real device.
         """
         index = len(self.vms)
         if index >= self.max_vms:
@@ -95,7 +128,7 @@ class PhysicalHost:
         vm = VM(
             self.env,
             vm_id,
-            backend_disk=self.disk,
+            backend_disk=self.cache_tier or self.disk,
             image_offset_sectors=index * stripe,
             image_sectors=image_sectors,
             guest_scheduler_factory=guest_scheduler_factory,

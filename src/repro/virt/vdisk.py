@@ -31,6 +31,8 @@ DEFAULT_RING_SLOTS = 32
 class VirtualBlockDevice(ElevatorQueue):
     """Guest elevator plus the bounded ring to the backend device."""
 
+    kind = "vdisk"
+
     def __init__(
         self,
         env: "Environment",

@@ -100,7 +100,7 @@ def test_bench_file_schema(tmp_path):
 def test_registry_shape():
     assert set(SCENARIOS) == {
         "sysbench", "fig2_single_pair", "sort", "faulty_job", "scale_sweep",
-        "multijob",
+        "multijob", "ssd_sort",
     }
     assert GATE_SCENARIO in SCENARIOS
     for scenario in SCENARIOS.values():

@@ -1,0 +1,109 @@
+"""The host buffer-cache tier: hit accounting, writeback, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.disk import (
+    BlockRequest,
+    CacheTier,
+    CacheTierParams,
+    DiskDevice,
+    IoOp,
+    ServiceTimeModel,
+)
+from repro.iosched import NoopScheduler
+from repro.sim import Environment
+
+
+def make_tier(env, capacity_pages=64, writeback_delay=0.001):
+    device = DiskDevice(
+        env, NoopScheduler(),
+        ServiceTimeModel(rng=np.random.default_rng(0)),
+    )
+    params = CacheTierParams(enabled=True, capacity_pages=capacity_pages,
+                             writeback_delay=writeback_delay)
+    return CacheTier(env, device, params), device
+
+
+def req(lba, n=8, op=IoOp.READ, pid="p"):
+    return BlockRequest(lba, n, op, pid)
+
+
+def settle(env, tier):
+    env.run(until=env.now + 100 * tier.params.writeback_delay + 1.0)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        CacheTierParams(page_bytes=1000)
+    with pytest.raises(ValueError):
+        CacheTierParams(capacity_pages=0)
+    with pytest.raises(ValueError):
+        CacheTierParams(writeback_delay=-1.0)
+
+
+def test_hits_plus_misses_equals_references():
+    env = Environment()
+    tier, _ = make_tier(env)
+    for lba in (0, 8, 0, 16, 8, 0):
+        done = tier.submit(req(lba))
+        env.run(until=done)
+    for lba in (0, 24):
+        done = tier.submit(req(lba, op=IoOp.WRITE))
+        env.run(until=done)
+    stats = tier.storage_stats()
+    assert stats["hits"] + stats["misses"] == stats["references"]
+    assert stats["hits"] > 0 and stats["misses"] > 0
+
+
+def test_read_after_read_hits_at_memory_latency():
+    env = Environment()
+    tier, _ = make_tier(env)
+    done = tier.submit(req(0))
+    env.run(until=done)
+    t0 = env.now
+    done = tier.submit(req(0))
+    env.run(until=done)
+    assert tier.hits > 0
+    assert env.now - t0 == pytest.approx(tier.params.hit_latency)
+
+
+def test_write_absorbed_then_flushed_to_device():
+    env = Environment()
+    tier, device = make_tier(env)
+    done = tier.submit(req(0, op=IoOp.WRITE))
+    env.run(until=done)
+    assert device.stats.write_count == 0  # still buffered
+    settle(env, tier)
+    assert tier.flushed_pages == 1
+    assert device.stats.write_count == 1
+
+
+def test_writeback_coalesces_contiguous_pages():
+    env = Environment()
+    tier, device = make_tier(env)
+    # Three contiguous pages plus one distant page -> two device writes.
+    for lba in (0, 8, 16, 800):
+        done = tier.submit(req(lba, op=IoOp.WRITE))
+        env.run(until=done)
+    settle(env, tier)
+    assert tier.flushed_pages == 4
+    assert device.stats.write_count == 2
+
+
+def test_dirty_eviction_syncs_to_device():
+    env = Environment()
+    # Tiny cache and a long writeback delay so capacity pressure (not
+    # the flusher) forces the dirty pages out.
+    tier, device = make_tier(env, capacity_pages=4, writeback_delay=50.0)
+    for i in range(16):
+        done = tier.submit(req(i * 8, op=IoOp.WRITE))
+        env.run(until=done)
+    env.run(until=env.now + 5.0)
+    assert tier.evicted_dirty > 0
+    assert device.stats.write_count > 0
+
+
+def test_runs_helper_collapses_sorted_pages():
+    assert CacheTier._runs([1, 2, 3, 7, 9, 10]) == [(1, 3), (7, 1), (9, 2)]
+    assert CacheTier._runs([5]) == [(5, 1)]

@@ -1,0 +1,54 @@
+"""fig-ssd smoke: the pair study on flash, restricted to a pair subset."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, fig_ssd
+from repro.runner import SweepRunner
+from repro.virt.pair import SchedulerPair
+
+
+@pytest.fixture(scope="module")
+def result():
+    pairs = [SchedulerPair.parse("ad"), SchedulerPair.parse("cc")]
+    with SweepRunner(jobs=2, use_cache=False) as sweep:
+        return fig_ssd.run(scale=0.05, seeds=(0,), pairs=pairs, sweep=sweep)
+
+
+def test_registered():
+    assert EXPERIMENTS["fig-ssd"] is fig_ssd.run
+
+
+def test_runs_both_backends_with_write_amp(result):
+    assert result.data["backends"] == ["ssd", "hybrid"]
+    for backend in ("ssd", "hybrid"):
+        for pair, duration in result.data["durations"][backend].items():
+            assert duration > 0
+            assert result.data["write_amp"][backend][pair] >= 1.0
+        assert result.data["adaptive"][backend]["duration"] > 0
+
+
+def test_ssd_stats_cover_expected_hosts(result):
+    assert result.data["ssd_devices"]["ssd"] == fig_ssd.HOSTS
+    assert result.data["ssd_devices"]["hybrid"] == fig_ssd.HOSTS // 2
+
+
+def test_checks_pass_on_subset(result):
+    # The pair-count check compares against the pairs actually run, so
+    # a restricted subset still passes.
+    assert result.all_checks_pass, result.render()
+
+
+def test_render_mentions_adaptive_row(result):
+    text = result.render()
+    assert "ssd cluster" in text and "hybrid cluster" in text
+    assert "adaptive ad->cc" in text
+    assert "write amp" in text
+
+
+def test_storage_param_restricts_backends():
+    pairs = [SchedulerPair.parse("cc")]
+    with SweepRunner(jobs=1, use_cache=False) as sweep:
+        result = fig_ssd.run(scale=0.05, seeds=(0,), pairs=pairs,
+                             storage="ssd", sweep=sweep)
+    assert result.data["backends"] == ["ssd"]
+    assert result.all_checks_pass, result.render()
